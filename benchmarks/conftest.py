@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper, prints the
+report (run pytest with ``-s`` to see them), stores the headline numbers
+in ``benchmark.extra_info`` and asserts the qualitative claim.
+Paper-scale (slow) variants are enabled with ``REPRO_FULL=1``.
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture
+def report_sink(capsys):
+    """Print a report so it survives pytest's capture with -s."""
+
+    def sink(text: str) -> None:
+        print("\n" + text)
+
+    return sink

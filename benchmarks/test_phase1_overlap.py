@@ -1,0 +1,18 @@
+"""Benchmark: Phase-I validation (AMS kernel vs golden model BER)."""
+
+from benchmarks.conftest import full_scale
+from repro.experiments import run_phase1_overlap
+
+
+def test_phase1_overlap(benchmark, report_sink):
+    bits = 300 if full_scale() else 60
+    result = benchmark.pedantic(
+        lambda: run_phase1_overlap(bits_per_point=bits, seed=23),
+        rounds=1, iterations=1)
+    report_sink(result.format_report())
+    benchmark.extra_info["agreement"] = round(
+        result.decision_agreement, 4)
+    benchmark.extra_info["max_ber_gap"] = round(result.max_ber_gap, 4)
+    # Paper: "BER curves which perfectly overlapped the Matlab ones".
+    assert result.decision_agreement > 0.9
+    assert result.max_ber_gap < 0.08

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 1 (CPU time per integrator model)."""
+
+from benchmarks.conftest import full_scale
+from repro.experiments import run_table1
+
+
+def test_table1_cpu_time(benchmark, report_sink):
+    # Paper simulates 30 us; the ratios stabilize after a few symbols.
+    span = 30e-6 if full_scale() else 0.3e-6
+    result = benchmark.pedantic(
+        lambda: run_table1(simulated_time=span), rounds=1, iterations=1)
+    report_sink(result.format_report())
+    entries = result.report.entries
+    benchmark.extra_info.update(
+        {k: round(v, 4) for k, v in entries.items()})
+    benchmark.extra_info["eldo_over_ideal"] = round(
+        entries["ELDO"] / entries["IDEAL"], 2)
+    benchmark.extra_info["paper_eldo_over_ideal"] = 6.5
+    # Shape: circuit-in-the-loop dominates by a large multiple.
+    assert result.cosim_dominates()
+    assert entries["ELDO"] / entries["IDEAL"] > 4.0

@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Link study: figure-6 BER curves and the noise-shaping ablation.
+
+Run:  python examples/ber_study.py [--full]
+"""
+
+import sys
+
+from repro.experiments import run_fig6, run_noise_shaping_ablation
+
+
+def main() -> None:
+    quick = "--full" not in sys.argv
+
+    fig6 = run_fig6(quick=quick)
+    print(fig6.format_report())
+    print()
+
+    shaping = run_noise_shaping_ablation(quick=quick)
+    print(shaping.format_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Analog block base classes."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.ams.quantity import Quantity
+
+
+class AnalogBlock:
+    """Base class for analog signal-flow blocks.
+
+    A block declares the quantities it reads (*inputs*) and the
+    quantities it drives (*outputs*); the kernel executes blocks in
+    registration order once per analog step.  Registration order must
+    respect signal flow (sources before sinks) - the receiver builders in
+    :mod:`repro.uwb` do this for you.  Feedback loops (e.g. the AGC) are
+    closed through digital processes or by tolerating one-step delay,
+    exactly as a fixed-step VHDL-AMS solve with a short step does.
+
+    Subclasses implement :meth:`step` and may also implement
+    :meth:`reset` for reuse across runs.
+    """
+
+    def __init__(self, name: str,
+                 inputs: Iterable[Quantity] = (),
+                 outputs: Iterable[Quantity] = ()):
+        self.name = name
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        for out in self.outputs:
+            out._claim(self)
+
+    def step(self, t: float, dt: float) -> None:
+        """Advance the block from ``t - dt`` to ``t`` (update outputs)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear internal state (optional)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class CallbackBlock(AnalogBlock):
+    """Stateless analog block from a plain function.
+
+    The function receives the input values (floats, in declared order)
+    and returns the output value(s)::
+
+        squarer = CallbackBlock("squarer", lambda v: v * v,
+                                inputs=[vga_out], outputs=[sq_out])
+    """
+
+    def __init__(self, name: str, fn: Callable, *,
+                 inputs: Sequence[Quantity], outputs: Sequence[Quantity]):
+        super().__init__(name, inputs, outputs)
+        self.fn = fn
+
+    def step(self, t: float, dt: float) -> None:
+        result = self.fn(*(q.value for q in self.inputs))
+        if len(self.outputs) == 1:
+            self.outputs[0].value = float(result)
+        else:
+            for out, val in zip(self.outputs, result):
+                out.value = float(val)

@@ -1,0 +1,35 @@
+"""Digital processes: callbacks sensitive to signal events."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.ams.signal import Signal
+
+
+class Process:
+    """A named callback executed whenever a sensitivity-list signal
+    changes (VHDL process semantics, callback style).
+
+    The callback receives the owning simulator, so it can read signals
+    and quantities, assign signals, and schedule wake-ups::
+
+        def demod(sim):
+            if clk.value == 1:
+                bit.assign(1 if e1.value > e0.value else 0)
+
+        sim.add_process(Process("demod", demod, sensitivity=[clk]))
+
+    A process may also be scheduled periodically via
+    :meth:`repro.ams.kernel.Simulator.every`.
+    """
+
+    def __init__(self, name: str, fn: Callable[["object"], None],
+                 sensitivity: Iterable[Signal] = ()):
+        self.name = name
+        self.fn = fn
+        self.sensitivity = tuple(sensitivity)
+
+    def __repr__(self) -> str:
+        sens = ", ".join(s.name for s in self.sensitivity)
+        return f"Process({self.name!r}, sensitivity=[{sens}])"

@@ -1,0 +1,77 @@
+"""Digital signals (the VHDL side of the kernel)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Signal:
+    """An event-driven signal carrying an arbitrary Python value.
+
+    Signals are owned by a :class:`~repro.ams.kernel.Simulator` once any
+    process or assignment touches them.  Assignments are scheduled through
+    the simulator's event queue (``after`` models VHDL's ``after``
+    clause); immediate assignments still go through a delta cycle so all
+    processes triggered in the same instant observe a consistent value.
+    """
+
+    def __init__(self, name: str, init: Any = 0):
+        self.name = name
+        self._value = init
+        self._last_change: float = 0.0
+        self._watchers: list[Callable[["Signal"], None]] = []
+        self._sim = None  # set on registration
+
+    # -- value access ---------------------------------------------------
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @property
+    def last_change(self) -> float:
+        """Time of the most recent value change."""
+        return self._last_change
+
+    def __bool__(self) -> bool:
+        return bool(self._value)
+
+    # -- simulator plumbing ----------------------------------------------
+    def _bind(self, sim) -> None:
+        if self._sim is not None and self._sim is not sim:
+            raise RuntimeError(
+                f"signal {self.name!r} already belongs to another simulator")
+        self._sim = sim
+
+    def watch(self, callback: Callable[["Signal"], None]) -> None:
+        """Run *callback(signal)* on every value change (used by
+        processes; also handy for ad-hoc probes in tests)."""
+        self._watchers.append(callback)
+
+    def assign(self, value: Any, after: float = 0.0) -> None:
+        """Schedule ``signal <= value after <delay>`` (delta cycle for
+        ``after=0``)."""
+        if self._sim is None:
+            raise RuntimeError(
+                f"signal {self.name!r} is not registered with a simulator")
+        self._sim._schedule_signal(self, value, after)
+
+    def force(self, value: Any, t: float = 0.0) -> None:
+        """Set the value immediately, firing watchers (initialization /
+        testbench use)."""
+        changed = value != self._value
+        self._value = value
+        if changed:
+            self._last_change = t
+            for watcher in list(self._watchers):
+                watcher(self)
+
+    def _apply(self, value: Any, t: float) -> None:
+        if value == self._value:
+            return
+        self._value = value
+        self._last_change = t
+        for watcher in list(self._watchers):
+            watcher(self)
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, value={self._value!r})"

@@ -1,0 +1,108 @@
+"""Waveform recording and measurement utilities."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.ams.quantity import Quantity
+from repro.ams.signal import Signal
+
+
+class Trace:
+    """A recorded waveform: time array + value array with measurement
+    helpers."""
+
+    def __init__(self, name: str, t: np.ndarray, values: np.ndarray):
+        self.name = name
+        self.t = np.asarray(t, dtype=float)
+        self.values = np.asarray(values, dtype=float)
+
+    def at(self, time: float) -> float:
+        """Linear-interpolated value at *time*."""
+        return float(np.interp(time, self.t, self.values))
+
+    def window(self, t0: float, t1: float) -> "Trace":
+        """Sub-trace restricted to ``[t0, t1]``."""
+        mask = (self.t >= t0) & (self.t <= t1)
+        return Trace(self.name, self.t[mask], self.values[mask])
+
+    def minimum(self) -> float:
+        return float(np.min(self.values))
+
+    def maximum(self) -> float:
+        return float(np.max(self.values))
+
+    def rms(self) -> float:
+        return float(np.sqrt(np.mean(self.values ** 2)))
+
+    def final(self) -> float:
+        return float(self.values[-1])
+
+    def crossings(self, level: float, rising: bool = True) -> np.ndarray:
+        """Interpolated times where the trace crosses *level*."""
+        v = self.values - level
+        if rising:
+            idx = np.nonzero((v[:-1] < 0) & (v[1:] >= 0))[0]
+        else:
+            idx = np.nonzero((v[:-1] > 0) & (v[1:] <= 0))[0]
+        if len(idx) == 0:
+            return np.array([])
+        frac = -v[idx] / (v[idx + 1] - v[idx])
+        return self.t[idx] + frac * (self.t[idx + 1] - self.t[idx])
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    def __repr__(self) -> str:
+        return f"Trace({self.name!r}, {len(self)} points)"
+
+
+class Recorder:
+    """Samples quantities/signals after every analog step (optionally
+    decimated) and exposes them as :class:`Trace` objects.
+
+    Args:
+        sim: the simulator to attach to.
+        probes: quantities or signals to record (signal values must be
+            numeric for tracing).
+        decimate: record every N-th step (1 = every step).
+    """
+
+    def __init__(self, sim, probes: Sequence[Quantity | Signal],
+                 decimate: int = 1):
+        if decimate < 1:
+            raise ValueError("decimate must be >= 1")
+        self.probes = list(probes)
+        self.decimate = decimate
+        self._count = 0
+        self._times: list[float] = []
+        self._data: list[list[float]] = [[] for _ in self.probes]
+        sim.add_step_hook(self._hook)
+
+    def _hook(self, t: float) -> None:
+        self._count += 1
+        if self._count % self.decimate:
+            return
+        self._times.append(t)
+        for slot, probe in zip(self._data, self.probes):
+            slot.append(float(probe.value))
+
+    def trace(self, probe_or_name) -> Trace:
+        """Trace for a probe object or its name."""
+        for idx, probe in enumerate(self.probes):
+            if probe is probe_or_name or probe.name == probe_or_name:
+                return Trace(probe.name, np.array(self._times),
+                             np.array(self._data[idx]))
+        raise KeyError(f"no probe named {probe_or_name!r}")
+
+    @property
+    def t(self) -> np.ndarray:
+        return np.array(self._times)
+
+    def clear(self) -> None:
+        self._times.clear()
+        for slot in self._data:
+            slot.clear()
+        self._count = 0

@@ -1,0 +1,44 @@
+"""Transistor-level designs from the paper.
+
+The centerpiece is the current-mode Integrate & Dump unit of figure 3
+(:mod:`repro.circuits.integrate_dump`), assembled from:
+
+* the transconductance amplifier (:mod:`repro.circuits.ota`) with its
+  source-follower input stage and ratio-2 mirror output stage,
+* the common-mode feedback network (:mod:`repro.circuits.cmfb`),
+* the integration/dump transmission-gate switches
+  (:mod:`repro.circuits.switches`).
+
+All blocks are parameterized by :class:`repro.circuits.sizing.IntegrateDumpDesign`
+so tests and calibration sweeps can explore the sizing space.
+"""
+
+from repro.circuits.sizing import IntegrateDumpDesign, MosSize, default_design
+from repro.circuits.integrate_dump import (
+    ID_INTERFACE_PORTS,
+    build_integrate_dump,
+    build_id_testbench,
+    count_transistors,
+)
+from repro.circuits.corners import (
+    CornerPoint,
+    cmfb_regulation,
+    corner_models,
+    corner_sweep,
+    format_corner_table,
+)
+
+__all__ = [
+    "CornerPoint",
+    "ID_INTERFACE_PORTS",
+    "IntegrateDumpDesign",
+    "MosSize",
+    "build_id_testbench",
+    "build_integrate_dump",
+    "cmfb_regulation",
+    "corner_models",
+    "corner_sweep",
+    "count_transistors",
+    "default_design",
+    "format_corner_table",
+]

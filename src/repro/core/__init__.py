@@ -1,0 +1,50 @@
+"""The paper's contribution: the four-phase top-down AMS methodology.
+
+* :mod:`repro.core.phases` - the phase model (I: monolithic behavioral,
+  II: partitioned ideal architecture, III: substitute-and-play with a
+  transistor netlist, IV: circuit-calibrated behavioral model),
+* :mod:`repro.core.registry` - entity/architecture bindings: one block
+  name, one implementation per phase, interface-checked,
+* :mod:`repro.core.refinement` - the flow orchestrator that runs the
+  same testbench with per-block phase selections and compares results,
+* :mod:`repro.core.characterize` - Phase-IV automation: two-pole fit of
+  an AC response and static-nonlinearity extraction from a DC sweep of
+  the transistor circuit,
+* :mod:`repro.core.metrics` - CPU-time accounting and system-metric
+  (BER / ranging) comparison reports.
+"""
+
+from repro.core.phases import Phase
+from repro.core.registry import ModelRegistry
+from repro.core.refinement import RefinementFlow, RunOutcome
+from repro.core.characterize import (
+    TwoPoleFit,
+    build_surrogate,
+    characterize_integrator,
+    extract_nonlinearity,
+    fit_two_pole,
+)
+from repro.core.metrics import (
+    BerComparison,
+    CpuTimeReport,
+    RangingComparison,
+    compare_ber,
+    compare_ranging,
+)
+
+__all__ = [
+    "BerComparison",
+    "CpuTimeReport",
+    "ModelRegistry",
+    "Phase",
+    "RangingComparison",
+    "RefinementFlow",
+    "RunOutcome",
+    "TwoPoleFit",
+    "build_surrogate",
+    "characterize_integrator",
+    "compare_ber",
+    "compare_ranging",
+    "extract_nonlinearity",
+    "fit_two_pole",
+]

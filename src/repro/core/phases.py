@@ -1,0 +1,49 @@
+"""The four phases of the top-down design flow (paper section 3)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Phase(enum.IntEnum):
+    """Design-flow phases, ordered by refinement depth.
+
+    Attributes:
+        I: single behavioral description of the whole system; ideal
+            synchronizer; validated against a golden model (Matlab in
+            the paper, :mod:`repro.uwb.fastsim` here).
+        II: architectural partition into entities with ideal internals
+            but system-relevant non-idealities kept (ADC/DAC
+            quantization, saturation).
+        III: substitute-and-play - one block at a time replaced by a
+            transistor-level netlist co-simulated inside the unchanged
+            system testbench.
+        IV: the characterized circuit re-abstracted into a light
+            behavioral model (DC gain + poles, optionally the measured
+            nonlinearity) so simulation stays fast while carrying
+            circuit truth.
+    """
+
+    I = 1
+    II = 2
+    III = 3
+    IV = 4
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+    def __str__(self) -> str:  # "Phase III" in reports
+        return f"Phase {self.name}"
+
+
+_DESCRIPTIONS = {
+    Phase.I: "monolithic behavioral model, validated against the golden "
+             "model",
+    Phase.II: "partitioned architecture, ideal blocks with quantization "
+              "and saturation",
+    Phase.III: "substitute-and-play: transistor-level netlist co-simulated "
+               "in the system testbench",
+    Phase.IV: "circuit-calibrated behavioral model (poles + gain "
+              "extracted from Phase III)",
+}

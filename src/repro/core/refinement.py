@@ -1,0 +1,113 @@
+"""The refinement-flow orchestrator.
+
+:class:`RefinementFlow` captures the paper's working loop:
+
+1. register per-phase implementations of each block,
+2. run the *same* testbench with a chosen phase per block
+   (substitute-and-play),
+3. compare system metrics across phases and account for CPU time.
+
+The flow is testbench-agnostic: it is constructed with a callable
+``testbench(implementations: dict[str, Any]) -> Any`` receiving the
+instantiated per-block implementations.  ``repro.experiments`` wires it
+to the UWB receiver testbenches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.core.phases import Phase
+from repro.core.registry import ModelRegistry
+
+
+@dataclass
+class RunOutcome:
+    """One testbench run under a specific phase selection.
+
+    Attributes:
+        phase_map: block -> phase used.
+        result: whatever the testbench returned.
+        cpu_time: wall-clock seconds of the run.
+    """
+
+    phase_map: dict[str, Phase]
+    result: Any
+    cpu_time: float
+
+    def label(self) -> str:
+        return ", ".join(f"{b}@{p.name}" for b, p in
+                         sorted(self.phase_map.items()))
+
+
+class RefinementFlow:
+    """Substitute-and-play flow driver.
+
+    Args:
+        testbench: callable building + running the system testbench from
+            a mapping ``block -> implementation instance``.
+        registry: the entity/architecture registry (a fresh one is
+            created if omitted).
+    """
+
+    def __init__(self, testbench: Callable[[Mapping[str, Any]], Any],
+                 registry: ModelRegistry | None = None):
+        self.testbench = testbench
+        self.registry = registry or ModelRegistry()
+        self.history: list[RunOutcome] = []
+
+    def register(self, block: str, phase: Phase | int,
+                 factory: Callable[[], Any],
+                 description: str = "") -> None:
+        """Register an implementation (delegates to the registry)."""
+        self.registry.register(block, phase, factory,
+                               description=description, check_now=False)
+
+    def run(self, baseline_phase: Phase | int = Phase.II,
+            refine: Mapping[str, Phase | int] | None = None) -> RunOutcome:
+        """Run the testbench with *baseline_phase* everywhere except the
+        blocks singled out in *refine* - the paper's "apply the
+        transistor level to one block at a time" discipline.
+
+        Returns:
+            A :class:`RunOutcome` (also appended to ``self.history``).
+        """
+        baseline_phase = Phase(baseline_phase)
+        refine = {b: Phase(p) for b, p in (refine or {}).items()}
+        phase_map: dict[str, Phase] = {}
+        implementations: dict[str, Any] = {}
+        for block in self.registry.blocks():
+            phase = refine.get(block, baseline_phase)
+            if (block, phase) not in self.registry:
+                # Blocks without a binding at the requested phase keep
+                # their most refined available phase <= requested.
+                candidates = [p for p in self.registry.phases_of(block)
+                              if p <= phase]
+                if not candidates:
+                    raise KeyError(
+                        f"block {block!r} has no binding at or below "
+                        f"{phase}")
+                phase = candidates[-1]
+            phase_map[block] = phase
+            implementations[block] = self.registry.create(block, phase)
+        started = time.perf_counter()
+        result = self.testbench(implementations)
+        cpu = time.perf_counter() - started
+        outcome = RunOutcome(phase_map=phase_map, result=result,
+                             cpu_time=cpu)
+        self.history.append(outcome)
+        return outcome
+
+    def sweep_block(self, block: str,
+                    baseline_phase: Phase | int = Phase.II
+                    ) -> list[RunOutcome]:
+        """Run once per available phase of *block* (everything else at
+        the baseline) - the phase-II-vs-III-vs-IV comparison in one
+        call."""
+        outcomes = []
+        for phase in self.registry.phases_of(block):
+            outcomes.append(self.run(baseline_phase=baseline_phase,
+                                     refine={block: phase}))
+        return outcomes

@@ -1,0 +1,97 @@
+"""Entity/architecture registry: the substitute-and-play bookkeeping.
+
+A VHDL-AMS entity can have several architectures; ADMS lets the designer
+re-bind one instance to a Spice netlist without touching the testbench,
+"provided that input/output terminals are electrically compatible".  The
+registry reproduces that discipline in Python: a *block name* (entity)
+maps to one *implementation factory* per :class:`~repro.core.phases.Phase`
+(architecture), and an optional interface checker enforces terminal
+compatibility at registration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.core.phases import Phase
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One (block, phase) -> implementation binding."""
+
+    block: str
+    phase: Phase
+    factory: Callable[[], Any]
+    description: str = ""
+
+
+class ModelRegistry:
+    """Phase-indexed implementation factories for named blocks.
+
+    Args:
+        interface_check: optional callable ``(block, implementation) ->
+            None`` raising on incompatible interfaces; it runs against a
+            probe instance at registration time, mirroring the
+            electrical-compatibility requirement of the paper's flow.
+    """
+
+    def __init__(self, interface_check: Callable[[str, Any], None]
+                 | None = None):
+        self._bindings: dict[tuple[str, Phase], Binding] = {}
+        self._interface_check = interface_check
+
+    def register(self, block: str, phase: Phase | int,
+                 factory: Callable[[], Any],
+                 description: str = "",
+                 check_now: bool = True) -> Binding:
+        """Bind *factory* as the *phase* implementation of *block*.
+
+        Raises:
+            KeyError: on duplicate registration.
+            Whatever *interface_check* raises on incompatibility.
+        """
+        phase = Phase(phase)
+        key = (block, phase)
+        if key in self._bindings:
+            raise KeyError(f"{block!r} already has a {phase} binding")
+        if self._interface_check is not None and check_now:
+            self._interface_check(block, factory())
+        binding = Binding(block=block, phase=phase, factory=factory,
+                          description=description)
+        self._bindings[key] = binding
+        return binding
+
+    def create(self, block: str, phase: Phase | int) -> Any:
+        """Instantiate the implementation of *block* at *phase*."""
+        phase = Phase(phase)
+        try:
+            return self._bindings[(block, phase)].factory()
+        except KeyError:
+            available = self.phases_of(block)
+            raise KeyError(
+                f"no {phase} binding for block {block!r}; available: "
+                f"{[str(p) for p in available]}") from None
+
+    def phases_of(self, block: str) -> list[Phase]:
+        """Phases that have a binding for *block*, in order."""
+        return sorted(p for (b, p) in self._bindings if b == block)
+
+    def blocks(self) -> list[str]:
+        return sorted({b for (b, _p) in self._bindings})
+
+    def describe(self) -> str:
+        """Human-readable binding table."""
+        lines = ["block                phase      description"]
+        for (block, phase), binding in sorted(self._bindings.items()):
+            lines.append(f"{block:<20s} {str(phase):<10s} "
+                         f"{binding.description}")
+        return "\n".join(lines)
+
+    def __contains__(self, key: tuple[str, Phase | int]) -> bool:
+        block, phase = key
+        return (block, Phase(phase)) in self._bindings
+
+    def __len__(self) -> int:
+        return len(self._bindings)

@@ -1,0 +1,41 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every harness is a plain function returning a result object with a
+``format_report()`` method; the ``benchmarks/`` tree wraps them in
+pytest-benchmark targets, and the ``examples/`` scripts call them
+directly.  Each accepts a ``quick`` flag that trades Monte-Carlo depth
+for runtime (benchmarks default to quick settings; pass ``quick=False``
+for paper-scale runs).
+"""
+
+from repro.experiments.fig4_ac import Fig4Result, run_fig4
+from repro.experiments.fig5_transient import Fig5Result, run_fig5
+from repro.experiments.fig6_ber import Fig6Result, run_fig6
+from repro.experiments.table1_cpu import Table1Result, run_table1
+from repro.experiments.table2_twr import Table2Result, run_table2
+from repro.experiments.phase1_overlap import Phase1Result, run_phase1_overlap
+from repro.experiments.ablations import (
+    AgcAblationResult,
+    NoiseShapingResult,
+    run_agc_ablation,
+    run_noise_shaping_ablation,
+)
+
+__all__ = [
+    "AgcAblationResult",
+    "Fig4Result",
+    "Fig5Result",
+    "Fig6Result",
+    "NoiseShapingResult",
+    "Phase1Result",
+    "Table1Result",
+    "Table2Result",
+    "run_agc_ablation",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_noise_shaping_ablation",
+    "run_phase1_overlap",
+    "run_table1",
+    "run_table2",
+]

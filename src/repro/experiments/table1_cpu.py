@@ -1,0 +1,101 @@
+"""Table 1: CPU time of a system simulation per integrator model.
+
+Paper (30 us simulated, 0.05 ns fixed step, IBM Xeon 3.0 GHz):
+
+    ELDO      59 m 33 s   (6.5x IDEAL, 2.9x VHDL-AMS)
+    VHDL-AMS  20 m 37 s   (2.2x IDEAL)
+    IDEAL      9 m 11 s
+
+We run the same mixed-signal receiver testbench with the three
+integrator back ends and report wall-clock time and ratios.  The claim
+under test is the *ordering* and the existence of a large
+circuit-in-the-loop penalty; absolute ratios differ because our
+behavioral blocks are far cheaper relative to a matrix solve than
+VHDL-AMS equation systems executed by ADMS (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import CpuTimeReport
+from repro.uwb import UwbConfig
+from repro.uwb.bpf import BandPassFilter
+from repro.uwb.modulation import ppm_waveform, random_bits
+from repro.uwb.system import run_ams_receiver
+
+
+@dataclass
+class Table1Result:
+    """CPU-time table + per-model demodulated bits (sanity check)."""
+
+    report: CpuTimeReport
+    bits: dict[str, np.ndarray]
+    tx_bits: np.ndarray
+
+    PAPER = {"ELDO": 59 * 60 + 33, "VHDL-AMS": 20 * 60 + 37,
+             "IDEAL": 9 * 60 + 11}
+
+    def cosim_dominates(self) -> bool:
+        """The headline claim: transistor-in-the-loop costs a large
+        multiple of either behavioral model."""
+        e = self.report.entries
+        return (e["ELDO"] > 2.0 * e["VHDL-AMS"]
+                and e["ELDO"] > 2.0 * e["IDEAL"])
+
+    def model_vs_ideal_ratio(self) -> float:
+        """VHDL-AMS model cost over IDEAL cost (paper: ~2.2x; here the
+        behavioral blocks are so cheap relative to kernel overhead that
+        the gap may vanish - see EXPERIMENTS.md)."""
+        e = self.report.entries
+        return e["VHDL-AMS"] / e["IDEAL"]
+
+    def format_report(self) -> str:
+        paper_ratio = {k: v / self.PAPER["IDEAL"]
+                       for k, v in self.PAPER.items()}
+        return "\n".join([
+            "Table 1 - CPU time comparison",
+            self.report.format_table(),
+            "  paper ratios: "
+            + ", ".join(f"{k} {v:.1f}x" for k, v in paper_ratio.items()),
+            f"  circuit-in-the-loop dominates: {self.cosim_dominates()}",
+            f"  VHDL-AMS / IDEAL ratio: {self.model_vs_ideal_ratio():.2f}x"
+            " (paper: 2.2x)",
+        ])
+
+
+def run_table1(config: UwbConfig | None = None,
+               simulated_time: float = 1e-6,
+               seed: int = 11,
+               cosim_substeps: int = 1) -> Table1Result:
+    """Regenerate table 1.
+
+    Args:
+        simulated_time: simulated span (paper: 30 us; default 1 us keeps
+            the benchmark minutes-scale - the ratios are span-invariant
+            beyond a few symbols).
+    """
+    config = config or UwbConfig()
+    n_symbols = max(2, int(round(simulated_time / config.symbol_period)))
+    rng = np.random.default_rng(seed)
+    tx_bits = random_bits(n_symbols, rng)
+    wave = ppm_waveform(tx_bits, config, amplitude=1.0)
+    wave = wave + rng.normal(0.0, 0.01, size=len(wave))
+    bpf = BandPassFilter.for_pulse(config.fs, config.pulse_tau,
+                                   config.pulse_order)
+    sig = bpf(wave)
+    sig = 0.25 * sig / np.max(np.abs(sig))
+
+    span = n_symbols * config.symbol_period
+    report = CpuTimeReport(simulated_time=span)
+    bits: dict[str, np.ndarray] = {}
+    for label, kind in (("IDEAL", "ideal"), ("VHDL-AMS", "two_pole"),
+                        ("ELDO", "circuit")):
+        result = run_ams_receiver(config, kind, sig,
+                                  cosim_substeps=cosim_substeps,
+                                  t_stop=span)
+        report.add(label, result.cpu_time)
+        bits[label] = result.bits
+    return Table1Result(report=report, bits=bits, tx_bits=tx_bits)

@@ -1,0 +1,93 @@
+"""Table 2: Two-Way Ranging at 9.9 m, ideal versus circuit integrator.
+
+Paper (10 iterations, CM1 LOS with recommended path loss):
+
+    IDEAL integrator:  mean 10.10 m, variance 0.49
+    ELDO  integrator:  mean 11.16 m, variance 0.10
+
+The two observations the paper draws from this: the refined integrator
+shows (1) a *larger offset* - the AGC overdrives its limited linear
+input range, the squared signal is compressed, the output voltage is
+lower and the ADC-referred arrival threshold is crossed later - and (2)
+a *smaller variance*, attributed to the equivalent-SNR increase.  Our
+harness reproduces the offset mechanism robustly; the variance gap sits
+inside Monte-Carlo uncertainty at 10 iterations (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import RangingComparison
+from repro.uwb import (
+    EnergyDetectionReceiver,
+    IdealIntegrator,
+    TwoWayRanging,
+    UwbConfig,
+)
+from repro.uwb.channel import Cm1Channel
+from repro.uwb.integrator import (
+    CircuitSurrogateIntegrator,
+    WindowIntegrator,
+)
+
+#: The overdriven AGC operating point of the TWR runs (see module doc).
+TWR_CONFIG = dict(preamble_symbols=16, payload_bits=16,
+                  adc_vref=2e-3, agc_range_db=80.0)
+TWR_NOISE_SIGMA = 9e-5
+TWR_TOA_FRACTION = 0.5
+TWR_DETECTION_FACTOR = 8.0
+
+
+@dataclass
+class Table2Result:
+    """Ranging statistics per model."""
+
+    comparison: RangingComparison
+    distance: float
+    iterations: int
+
+    PAPER = {"ideal": (10.10, 0.49), "circuit": (11.16, 0.10)}
+
+    def format_report(self) -> str:
+        lines = [f"Table 2 - TWR @ {self.distance} m, "
+                 f"{self.iterations} iterations (CM1 LOS + path loss)",
+                 self.comparison.format_table(),
+                 "  paper:  ideal 10.10 m / 0.49, circuit 11.16 m / 0.10",
+                 f"  offset increased with circuit: "
+                 f"{self.comparison.offset_increased('ideal', 'circuit')}",
+                 f"  variance decreased with circuit: "
+                 f"{self.comparison.variance_decreased('ideal', 'circuit')}"]
+        return "\n".join(lines)
+
+
+def make_twr(config: UwbConfig, integrator: WindowIntegrator,
+             distance: float = 9.9,
+             noise_sigma: float = TWR_NOISE_SIGMA) -> TwoWayRanging:
+    """A TWR simulator wired to the table-2 operating point."""
+    channel = Cm1Channel(config.fs)
+    return TwoWayRanging(
+        config,
+        lambda: EnergyDetectionReceiver(
+            config, integrator,
+            toa_threshold_fraction=TWR_TOA_FRACTION,
+            detection_factor=TWR_DETECTION_FACTOR),
+        distance=distance, tx_amplitude=1.0,
+        noise_sigma=noise_sigma, channel=channel)
+
+
+def run_table2(distance: float = 9.9, iterations: int = 10,
+               seed: int = 42,
+               circuit: WindowIntegrator | None = None) -> Table2Result:
+    """Regenerate table 2 (10 iterations at 9.9 m by default)."""
+    config = UwbConfig(**TWR_CONFIG)
+    circuit = circuit or CircuitSurrogateIntegrator()
+    comparison = RangingComparison()
+    for label, integ in (("ideal", IdealIntegrator()), ("circuit", circuit)):
+        twr = make_twr(config, integ, distance=distance)
+        result = twr.run(iterations, np.random.default_rng(seed))
+        comparison.add(label, result)
+    return Table2Result(comparison=comparison, distance=distance,
+                        iterations=iterations)

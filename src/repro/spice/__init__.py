@@ -1,0 +1,89 @@
+"""Spice-class analog circuit simulator (the repo's ELDO substitute).
+
+This package implements a small but complete Modified-Nodal-Analysis (MNA)
+circuit simulator:
+
+* a circuit/netlist data model (:mod:`repro.spice.netlist`) with subcircuit
+  flattening,
+* a Spice-format text parser (:mod:`repro.spice.parser`),
+* device models (:mod:`repro.spice.devices`) including a level-1 MOSFET
+  with body effect, channel-length modulation and a Meyer-style charge
+  model,
+* analyses (:mod:`repro.spice.analysis`): operating point, DC sweep, AC
+  small-signal and transient, plus a resumable :class:`TransientStepper`
+  used for mixed-signal co-simulation,
+* a generic 0.18 um CMOS model library (:mod:`repro.spice.library`).
+
+The public API re-exported here is the stable surface used by the rest of
+the repository.
+"""
+
+from repro.spice.errors import (
+    AnalysisError,
+    ConvergenceError,
+    NetlistError,
+    ParseError,
+    SingularMatrixError,
+    SpiceError,
+)
+from repro.spice.netlist import Circuit, Subckt
+from repro.spice.parser import parse_netlist, parse_value
+from repro.spice.devices import (
+    Capacitor,
+    CurrentSource,
+    Diode,
+    Inductor,
+    Mosfet,
+    MosModel,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+    VSwitch,
+)
+from repro.spice.analysis import (
+    AcResult,
+    DcSweepResult,
+    OpResult,
+    TranResult,
+    TransientStepper,
+    ac_analysis,
+    dc_sweep,
+    operating_point,
+    transient,
+)
+from repro.spice.library import generic_018
+
+__all__ = [
+    "AcResult",
+    "AnalysisError",
+    "Capacitor",
+    "Circuit",
+    "ConvergenceError",
+    "CurrentSource",
+    "DcSweepResult",
+    "Diode",
+    "Inductor",
+    "MosModel",
+    "Mosfet",
+    "NetlistError",
+    "OpResult",
+    "ParseError",
+    "Resistor",
+    "SingularMatrixError",
+    "SpiceError",
+    "Subckt",
+    "TranResult",
+    "TransientStepper",
+    "Vccs",
+    "Vcvs",
+    "VoltageSource",
+    "VSwitch",
+    "ac_analysis",
+    "dc_sweep",
+    "generic_018",
+    "operating_point",
+    "parse_netlist",
+    "parse_value",
+    "transient",
+]

@@ -1,0 +1,93 @@
+"""Junction diode with exponential I-V and junction capacitance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.spice.devices.base import TwoTerminal
+from repro.spice.errors import NetlistError
+
+VT_THERMAL = 0.025852  # thermal voltage at 300 K
+
+
+@dataclass(frozen=True)
+class DiodeModel:
+    """Diode model card: saturation current, emission coefficient, series
+    resistance (ignored in stamping; kept for completeness) and zero-bias
+    junction capacitance."""
+
+    name: str
+    is_: float = 1e-14
+    n: float = 1.0
+    cj0: float = 0.0
+
+    def __post_init__(self):
+        if self.is_ <= 0:
+            raise NetlistError(f"DiodeModel {self.name}: IS must be positive")
+        if self.n <= 0:
+            raise NetlistError(f"DiodeModel {self.name}: N must be positive")
+
+
+@dataclass(frozen=True)
+class Diode(TwoTerminal):
+    """Diode instance; anode ``n1``, cathode ``n2``."""
+
+    model: str = "d"
+
+    def __init__(self, name: str, n1: str, n2: str, model: str | DiodeModel = "d"):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "n1", n1)
+        object.__setattr__(self, "n2", n2)
+        model_name = model.name if isinstance(model, DiodeModel) else model
+        object.__setattr__(self, "model", model_name)
+
+
+class DiodeGroup:
+    """Vectorized diode evaluation with junction-voltage limiting."""
+
+    #: Voltage above which the exponential is linearized to avoid overflow.
+    V_EXPLODE = 0.9
+
+    def __init__(self, devices: Sequence[Diode],
+                 models: dict[str, DiodeModel],
+                 node_index: dict[str, int]):
+        self.devices = list(devices)
+        self.count = len(self.devices)
+        get = node_index.__getitem__
+        self.na = np.array([get(d.n1) for d in self.devices], dtype=np.intp)
+        self.nc = np.array([get(d.n2) for d in self.devices], dtype=np.intp)
+
+        def model_of(dev: Diode) -> DiodeModel:
+            try:
+                return models[dev.model]
+            except KeyError:
+                raise NetlistError(
+                    f"{dev.name}: unknown diode model {dev.model!r}") from None
+
+        mods = [model_of(d) for d in self.devices]
+        self.isat = np.array([m.is_ for m in mods])
+        self.nvt = np.array([m.n for m in mods]) * VT_THERMAL
+        self.cj0 = np.array([m.cj0 for m in mods])
+
+    def evaluate(self, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(current, conductance)`` arrays at node voltages *v*.
+
+        The exponential is continued linearly above :data:`V_EXPLODE` so
+        Newton steps cannot overflow.
+        """
+        vd = v[self.na] - v[self.nc]
+        vlim = self.V_EXPLODE
+        clipped = np.minimum(vd, vlim)
+        expo = np.exp(clipped / self.nvt)
+        current = self.isat * (expo - 1.0)
+        conductance = self.isat * expo / self.nvt
+        above = vd > vlim
+        if np.any(above):
+            g_lim = (self.isat * np.exp(vlim / self.nvt) / self.nvt)[above]
+            i_lim = (self.isat * (np.exp(vlim / self.nvt) - 1.0))[above]
+            current[above] = i_lim + g_lim * (vd[above] - vlim)
+            conductance[above] = g_lim
+        return current, conductance

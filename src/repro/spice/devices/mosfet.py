@@ -1,0 +1,331 @@
+"""Level-1 (Shichman-Hodges) MOSFET model with vectorized evaluation.
+
+The device description is :class:`Mosfet` + :class:`MosModel`.  The MNA
+compiler packs all MOSFETs of a circuit into a :class:`MosGroup`, whose
+arrays allow every transistor to be evaluated in a handful of numpy
+operations per Newton iteration — this is what makes transistor-in-the-loop
+co-simulation tractable in pure Python.
+
+Model features:
+
+* square-law triode/saturation with channel-length modulation applied in
+  both regions (continuous at the triode/saturation boundary, as in
+  Berkeley Spice level 1),
+* body effect ``VT = VTO + GAMMA*(sqrt(PHI+VSB) - sqrt(PHI))`` with a
+  floor on the square-root argument for robustness under forward body
+  bias,
+* automatic drain/source swap when ``VDS < 0`` (the device is symmetric),
+* Meyer-style piecewise gate-capacitance model plus constant overlap and
+  junction capacitances, used by AC analysis and by the transient
+  companion models.
+
+Known simplifications versus a production BSIM model (documented in
+DESIGN.md): no subthreshold conduction (cutoff is abrupt, with the global
+``gmin`` providing leakage), junction capacitances evaluated at zero bias,
+Meyer capacitances are not charge-conserving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.spice.devices.base import Device
+from repro.spice.errors import NetlistError
+from repro.spice.units import parse_value
+
+EPS_OX = 3.9 * 8.854187817e-12  # F/m, SiO2 permittivity
+
+
+@dataclass(frozen=True)
+class MosModel:
+    """Level-1 MOSFET model card.
+
+    Args:
+        name: model name referenced by :class:`Mosfet` instances.
+        mtype: ``"n"`` or ``"p"``.
+        vto: zero-bias threshold voltage (positive for NMOS, negative
+            for PMOS, as in Spice).
+        kp: transconductance parameter ``u0*Cox`` in A/V^2.
+        gamma: body-effect coefficient in V^0.5.
+        phi: surface potential in V.
+        lambd: channel-length modulation in 1/V.
+        tox: gate-oxide thickness in m (sets the charge model's Cox).
+        cgso/cgdo: gate-source/drain overlap capacitance per meter of
+            width (F/m).
+        cgbo: gate-bulk overlap capacitance per meter of length (F/m).
+        cj: zero-bias junction capacitance per area (F/m^2).
+        cjsw: zero-bias sidewall junction capacitance (F/m).
+        ldiff: drawn source/drain diffusion length used to derive the
+            default junction areas (m).
+        ld: lateral diffusion; the effective length is ``L - 2*ld``.
+    """
+
+    name: str
+    mtype: str = "n"
+    vto: float = 0.5
+    kp: float = 200e-6
+    gamma: float = 0.45
+    phi: float = 0.8
+    lambd: float = 0.06
+    tox: float = 4.1e-9
+    cgso: float = 3.0e-10
+    cgdo: float = 3.0e-10
+    cgbo: float = 1.0e-10
+    cj: float = 1.0e-3
+    cjsw: float = 2.0e-10
+    ldiff: float = 0.48e-6
+    ld: float = 0.0
+
+    def __post_init__(self):
+        if self.mtype not in ("n", "p"):
+            raise NetlistError(f"MosModel {self.name}: mtype must be 'n' or 'p'")
+        if self.kp <= 0:
+            raise NetlistError(f"MosModel {self.name}: kp must be positive")
+        if self.phi <= 0:
+            raise NetlistError(f"MosModel {self.name}: phi must be positive")
+        if self.tox <= 0:
+            raise NetlistError(f"MosModel {self.name}: tox must be positive")
+
+    @property
+    def sign(self) -> float:
+        """+1 for NMOS, -1 for PMOS."""
+        return 1.0 if self.mtype == "n" else -1.0
+
+    @property
+    def cox(self) -> float:
+        """Gate capacitance per unit area (F/m^2)."""
+        return EPS_OX / self.tox
+
+
+@dataclass(frozen=True)
+class Mosfet(Device):
+    """MOSFET instance ``M<name> d g s b <model> w=... l=... m=...``."""
+
+    d: str
+    g: str
+    s: str
+    b: str
+    model: str
+    w: float
+    l: float
+    m: float = 1.0
+
+    def __init__(self, name: str, d: str, g: str, s: str, b: str,
+                 model: str | MosModel, w: float | str, l: float | str,
+                 m: float = 1.0):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "d", d)
+        object.__setattr__(self, "g", g)
+        object.__setattr__(self, "s", s)
+        object.__setattr__(self, "b", b)
+        model_name = model.name if isinstance(model, MosModel) else model
+        object.__setattr__(self, "model", model_name)
+        w_val = parse_value(w)
+        l_val = parse_value(l)
+        if w_val <= 0 or l_val <= 0:
+            raise NetlistError(f"{name}: W and L must be positive")
+        object.__setattr__(self, "w", w_val)
+        object.__setattr__(self, "l", l_val)
+        if m < 1:
+            raise NetlistError(f"{name}: multiplicity m must be >= 1")
+        object.__setattr__(self, "m", float(m))
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.d, self.g, self.s, self.b)
+
+    def renamed(self, name: str, node_map: dict[str, str]) -> "Mosfet":
+        return Mosfet(
+            name,
+            node_map.get(self.d, self.d),
+            node_map.get(self.g, self.g),
+            node_map.get(self.s, self.s),
+            node_map.get(self.b, self.b),
+            self.model,
+            self.w,
+            self.l,
+            self.m,
+        )
+
+
+@dataclass
+class MosEval:
+    """Result of a vectorized large-signal evaluation.
+
+    All quantities are expressed in the *effective* (possibly swapped)
+    drain/source frame; ``d_eff``/``s_eff`` give the node indices to stamp
+    against.  ``ids`` is the current flowing from ``d_eff`` to ``s_eff``
+    for NMOS sign convention already applied (i.e. it is the physical
+    terminal current into the effective drain).
+    """
+
+    ids: np.ndarray
+    gm: np.ndarray
+    gds: np.ndarray
+    gmb: np.ndarray
+    d_eff: np.ndarray
+    s_eff: np.ndarray
+    vgs: np.ndarray
+    vds: np.ndarray
+    region: np.ndarray  # 0 = cutoff, 1 = triode, 2 = saturation
+
+
+class MosGroup:
+    """All MOSFETs of a circuit packed into parameter arrays.
+
+    Node indices follow the MNA convention where ground is mapped to a
+    sentinel index (the compiler stamps into an oversized matrix and drops
+    the ground row/column afterwards), so no masking is needed here.
+    """
+
+    def __init__(self, devices: Sequence[Mosfet],
+                 models: dict[str, MosModel],
+                 node_index: dict[str, int]):
+        self.devices = list(devices)
+        n = len(self.devices)
+        self.count = n
+        self.names = [dev.name for dev in self.devices]
+        get = node_index.__getitem__
+        self.nd = np.array([get(dev.d) for dev in self.devices], dtype=np.intp)
+        self.ng = np.array([get(dev.g) for dev in self.devices], dtype=np.intp)
+        self.ns = np.array([get(dev.s) for dev in self.devices], dtype=np.intp)
+        self.nb = np.array([get(dev.b) for dev in self.devices], dtype=np.intp)
+
+        def model_of(dev: Mosfet) -> MosModel:
+            try:
+                return models[dev.model]
+            except KeyError:
+                raise NetlistError(
+                    f"{dev.name}: unknown MOS model {dev.model!r}") from None
+
+        mods = [model_of(dev) for dev in self.devices]
+        self.sign = np.array([mod.sign for mod in mods])
+        leff = np.array([max(dev.l - 2 * mod.ld, 1e-9)
+                         for dev, mod in zip(self.devices, mods)])
+        width = np.array([dev.w * dev.m for dev in self.devices])
+        self.beta = np.array([mod.kp for mod in mods]) * width / leff
+        self.vto = np.array([mod.vto for mod in mods])
+        self.gamma = np.array([mod.gamma for mod in mods])
+        self.phi = np.array([mod.phi for mod in mods])
+        self.lambd = np.array([mod.lambd for mod in mods])
+        # Charge-model constants.
+        cox_tot = np.array([mod.cox for mod in mods]) * width * leff
+        self.cox_tot = cox_tot
+        self.c_ov_gs = np.array([mod.cgso for mod in mods]) * width
+        self.c_ov_gd = np.array([mod.cgdo for mod in mods]) * width
+        self.c_ov_gb = np.array([mod.cgbo for mod in mods]) * leff
+        area = width * np.array([mod.ldiff for mod in mods])
+        perim = width + 2 * np.array([mod.ldiff for mod in mods])
+        self.c_jxn = (np.array([mod.cj for mod in mods]) * area
+                      + np.array([mod.cjsw for mod in mods]) * perim)
+
+    def evaluate(self, v: np.ndarray) -> MosEval:
+        """Vectorized large-signal evaluation at node-voltage vector *v*.
+
+        *v* must include the sentinel ground entry (value 0) so that plain
+        fancy indexing works for grounded terminals.
+        """
+        vd = v[self.nd]
+        vg = v[self.ng]
+        vs = v[self.ns]
+        vb = v[self.nb]
+        sign = self.sign
+
+        # Work in the NMOS-equivalent frame.
+        vds_raw = sign * (vd - vs)
+        reversed_mode = vds_raw < 0.0
+        d_eff = np.where(reversed_mode, self.ns, self.nd)
+        s_eff = np.where(reversed_mode, self.nd, self.ns)
+        vs_eff = np.where(reversed_mode, vd, vs)
+        vd_eff = np.where(reversed_mode, vs, vd)
+
+        vgs = sign * (vg - vs_eff)
+        vds = sign * (vd_eff - vs_eff)
+        vsb = sign * (vs_eff - vb)
+
+        sqrt_arg = np.maximum(self.phi + vsb, 0.02 * self.phi)
+        sqrt_term = np.sqrt(sqrt_arg)
+        vt = sign * self.vto + self.gamma * (sqrt_term - np.sqrt(self.phi))
+        dvt_dvsb = self.gamma / (2.0 * sqrt_term)
+
+        vov = vgs - vt
+        clm = 1.0 + self.lambd * vds
+
+        cutoff = vov <= 0.0
+        triode = (~cutoff) & (vds < vov)
+        sat = (~cutoff) & (~triode)
+
+        ids = np.zeros(self.count)
+        gm = np.zeros(self.count)
+        gds = np.zeros(self.count)
+
+        beta = self.beta
+        # Triode region.
+        if np.any(triode):
+            idx = triode
+            ids_t = beta * (vov * vds - 0.5 * vds * vds) * clm
+            gm_t = beta * vds * clm
+            gds_t = (beta * (vov - vds) * clm
+                     + beta * (vov * vds - 0.5 * vds * vds) * self.lambd)
+            ids[idx] = ids_t[idx]
+            gm[idx] = gm_t[idx]
+            gds[idx] = gds_t[idx]
+        # Saturation region.
+        if np.any(sat):
+            idx = sat
+            ids_s = 0.5 * beta * vov * vov * clm
+            gm_s = beta * vov * clm
+            gds_s = 0.5 * beta * vov * vov * self.lambd
+            ids[idx] = ids_s[idx]
+            gm[idx] = gm_s[idx]
+            gds[idx] = gds_s[idx]
+
+        gmb = gm * dvt_dvsb
+
+        region = np.where(cutoff, 0, np.where(triode, 1, 2))
+        # Map back to physical current: in the NMOS frame ids flows from
+        # effective drain to effective source; multiply by sign for PMOS.
+        return MosEval(
+            ids=sign * ids,
+            gm=gm,
+            gds=gds,
+            gmb=gmb,
+            d_eff=d_eff,
+            s_eff=s_eff,
+            vgs=vgs,
+            vds=vds,
+            region=region,
+        )
+
+    def capacitances(self, v: np.ndarray) -> dict[str, np.ndarray]:
+        """Meyer gate capacitances + overlaps + zero-bias junctions.
+
+        Returns arrays ``cgs, cgd, cgb, cbd, cbs`` (F), in the *physical*
+        terminal frame (swap handled internally).
+        """
+        ev = self.evaluate(v)
+        cgs_i = np.zeros(self.count)
+        cgd_i = np.zeros(self.count)
+        cgb_i = np.zeros(self.count)
+        cox = self.cox_tot
+
+        cutoff = ev.region == 0
+        triode = ev.region == 1
+        sat = ev.region == 2
+        cgb_i[cutoff] = cox[cutoff]
+        cgs_i[triode] = 0.5 * cox[triode]
+        cgd_i[triode] = 0.5 * cox[triode]
+        cgs_i[sat] = (2.0 / 3.0) * cox[sat]
+
+        # Meyer "cgs"/"cgd" are referenced to the effective source/drain;
+        # when the device is reversed, swap them back to physical terms.
+        swapped = ev.d_eff != self.nd
+        cgs = np.where(swapped, cgd_i, cgs_i) + self.c_ov_gs
+        cgd = np.where(swapped, cgs_i, cgd_i) + self.c_ov_gd
+        cgb = cgb_i + self.c_ov_gb
+        cbd = self.c_jxn.copy()
+        cbs = self.c_jxn.copy()
+        return {"cgs": cgs, "cgd": cgd, "cgb": cgb, "cbd": cbd, "cbs": cbs}

@@ -1,0 +1,120 @@
+"""Voltage-controlled switch with a smooth resistance transition.
+
+The abrupt on/off switch of classic Spice is a notorious convergence trap;
+like modern simulators we interpolate the conductance smoothly (log-space
+tanh) between ``ron`` and ``roff`` as the control voltage crosses the
+threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.spice.devices.base import Device
+from repro.spice.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class SwitchModel:
+    """Switch model: on/off resistance, threshold and transition width."""
+
+    name: str
+    ron: float = 1.0
+    roff: float = 1e9
+    vt: float = 0.5
+    vh: float = 0.1  # half-width of the smooth transition
+
+    def __post_init__(self):
+        if self.ron <= 0 or self.roff <= 0:
+            raise NetlistError(f"SwitchModel {self.name}: resistances must be > 0")
+        if self.vh <= 0:
+            raise NetlistError(f"SwitchModel {self.name}: vh must be > 0")
+
+
+@dataclass(frozen=True)
+class VSwitch(Device):
+    """Voltage-controlled switch ``S<name> n1 n2 cn1 cn2 <model>``.
+
+    Closed (resistance ``ron``) when ``v(cn1,cn2) > vt``.
+    """
+
+    n1: str
+    n2: str
+    cn1: str
+    cn2: str
+    model: str
+
+    def __init__(self, name: str, n1: str, n2: str, cn1: str, cn2: str,
+                 model: str | SwitchModel):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "n1", n1)
+        object.__setattr__(self, "n2", n2)
+        object.__setattr__(self, "cn1", cn1)
+        object.__setattr__(self, "cn2", cn2)
+        model_name = model.name if isinstance(model, SwitchModel) else model
+        object.__setattr__(self, "model", model_name)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.n1, self.n2, self.cn1, self.cn2)
+
+    def renamed(self, name: str, node_map: dict[str, str]) -> "VSwitch":
+        return VSwitch(
+            name,
+            node_map.get(self.n1, self.n1),
+            node_map.get(self.n2, self.n2),
+            node_map.get(self.cn1, self.cn1),
+            node_map.get(self.cn2, self.cn2),
+            self.model,
+        )
+
+
+class SwitchGroup:
+    """Vectorized switch evaluation.
+
+    The conductance is ``g(vc) = exp(lerp(ln g_off, ln g_on, s(vc)))``
+    where ``s`` is a smooth-step of the control voltage.  The branch is
+    treated like a nonlinear resistor: current ``g(vc) * v12`` with
+    Jacobian terms against both the through-voltage and the control
+    voltage.
+    """
+
+    def __init__(self, devices: Sequence[VSwitch],
+                 models: dict[str, SwitchModel],
+                 node_index: dict[str, int]):
+        self.devices = list(devices)
+        self.count = len(self.devices)
+        get = node_index.__getitem__
+        self.n1 = np.array([get(d.n1) for d in self.devices], dtype=np.intp)
+        self.n2 = np.array([get(d.n2) for d in self.devices], dtype=np.intp)
+        self.c1 = np.array([get(d.cn1) for d in self.devices], dtype=np.intp)
+        self.c2 = np.array([get(d.cn2) for d in self.devices], dtype=np.intp)
+
+        def model_of(dev: VSwitch) -> SwitchModel:
+            try:
+                return models[dev.model]
+            except KeyError:
+                raise NetlistError(
+                    f"{dev.name}: unknown switch model {dev.model!r}") from None
+
+        mods = [model_of(d) for d in self.devices]
+        self.ln_gon = np.log(np.array([1.0 / m.ron for m in mods]))
+        self.ln_goff = np.log(np.array([1.0 / m.roff for m in mods]))
+        self.vt = np.array([m.vt for m in mods])
+        self.vh = np.array([m.vh for m in mods])
+
+    def evaluate(self, v: np.ndarray):
+        """Return ``(g, dg_dvc, v12)``: conductance, its control-voltage
+        sensitivity and the through-voltage."""
+        vc = v[self.c1] - v[self.c2]
+        x = (vc - self.vt) / self.vh
+        s = 0.5 * (1.0 + np.tanh(x))
+        ds_dvc = 0.5 * (1.0 - np.tanh(x) ** 2) / self.vh
+        ln_g = self.ln_goff + (self.ln_gon - self.ln_goff) * s
+        g = np.exp(ln_g)
+        dg_dvc = g * (self.ln_gon - self.ln_goff) * ds_dvc
+        v12 = v[self.n1] - v[self.n2]
+        return g, dg_dvc, v12

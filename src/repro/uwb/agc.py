@@ -1,0 +1,130 @@
+"""Automatic gain control.
+
+The paper's AGC programs the VGA "in steps using a DA converter" so that
+"the input dynamics of the ADC is fully exploited"; its section-5 finding
+is that a single gain cannot simultaneously match the *amplitude* to the
+integrator's ~100 mV linear input range and the *energy* to the ADC full
+scale - the real integrator compresses, the integrated value drops, and
+ranging inherits an offset.  The proposed fix is a two-stage control:
+amplitude matching up front, energy matching after the integrator.
+
+Both controllers are implemented here:
+
+* :class:`Agc` - the original single-stage policy (energy matching via
+  the *ideal* integrator gain, i.e. blind to compression),
+* :class:`TwoStageAgc` - the paper's proposed fix (used by the ablation
+  benchmark).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.uwb.adc import Adc
+from repro.uwb.frontend import Vga
+
+
+@dataclass(frozen=True)
+class AgcDecision:
+    """Outcome of an AGC calibration.
+
+    Attributes:
+        code: VGA DAC code to program.
+        post_gain: gain applied between integrator output and ADC (the
+            second stage of the two-stage scheme; 1.0 for the classic
+            single-stage AGC).
+    """
+
+    code: int
+    post_gain: float
+
+
+class Agc:
+    """Single-stage AGC: energy matching assuming the ideal integrator.
+
+    Args:
+        vga: the VGA under control (provides the step/range quantization).
+        adc: the ADC whose range must be filled.
+        integrator_k: the *assumed* ideal integration constant K; the
+            flaw modeled here is precisely that the real integrator does
+            not realize this K at large inputs.
+        fill: fraction of the ADC full scale targeted by a nominal
+            preamble symbol energy.
+    """
+
+    def __init__(self, vga: Vga, adc: Adc, integrator_k: float,
+                 fill: float = 0.85):
+        if not 0.0 < fill <= 1.0:
+            raise ValueError("fill must be in (0, 1]")
+        self.vga = vga
+        self.adc = adc
+        self.integrator_k = float(integrator_k)
+        self.fill = float(fill)
+
+    def _target_vout(self) -> float:
+        return self.fill * self.adc.vref
+
+    def decide(self, peak_amplitude: float,
+               window_energy: float) -> AgcDecision:
+        """Compute the gain from unity-gain preamble measurements.
+
+        Args:
+            peak_amplitude: measured peak |v| at the VGA input (unused by
+                the single-stage policy; kept for interface symmetry).
+            window_energy: measured ``integral v^2 dt`` over the pulse
+                integration window at unity VGA gain.
+
+        Returns:
+            The DAC code achieving (as nearly as the steps allow)
+            ``K * g^2 * window_energy = fill * vref``.
+        """
+        if window_energy <= 0:
+            return AgcDecision(code=0, post_gain=1.0)
+        g_squared = self._target_vout() / (self.integrator_k * window_energy)
+        gain_db = 10.0 * math.log10(max(g_squared, 1e-30))
+        code = round((gain_db - self.vga.min_db) / self.vga.step_db)
+        code = max(0, min(self.vga.n_codes - 1, code))
+        return AgcDecision(code=code, post_gain=1.0)
+
+    def apply(self, decision: AgcDecision) -> None:
+        self.vga.set_code(decision.code)
+
+
+class TwoStageAgc(Agc):
+    """The paper's proposed two-stage AGC.
+
+    Stage 1 programs the VGA for *amplitude* matching: the squared signal
+    presented to the integrator stays inside its linear input range.
+    Stage 2 is a post-integrator gain restoring *energy* matching for the
+    ADC.
+
+    Args:
+        amp_target: target peak amplitude at the squarer output (V),
+            chosen inside the integrator's linear range.
+    """
+
+    def __init__(self, vga: Vga, adc: Adc, integrator_k: float,
+                 fill: float = 0.85, amp_target: float = 0.08):
+        super().__init__(vga, adc, integrator_k, fill=fill)
+        if amp_target <= 0:
+            raise ValueError("amp_target must be positive")
+        self.amp_target = float(amp_target)
+
+    def decide(self, peak_amplitude: float,
+               window_energy: float) -> AgcDecision:
+        if peak_amplitude <= 0 or window_energy <= 0:
+            return AgcDecision(code=0, post_gain=1.0)
+        # Stage 1: the squarer output peak is (g*peak)^2 -> keep it at
+        # amp_target.
+        g = math.sqrt(self.amp_target) / peak_amplitude
+        gain_db = 20.0 * math.log10(max(g, 1e-30))
+        code = round((gain_db - self.vga.min_db) / self.vga.step_db)
+        code = max(0, min(self.vga.n_codes - 1, code))
+        g_actual = 10.0 ** ((self.vga.min_db + code * self.vga.step_db)
+                            / 20.0)
+        # Stage 2: make the *ideal* integrated energy at this reduced
+        # gain fill the ADC range.
+        vout_nominal = (self.integrator_k * g_actual ** 2 * window_energy)
+        post_gain = self._target_vout() / max(vout_nominal, 1e-30)
+        return AgcDecision(code=code, post_gain=post_gain)

@@ -1,0 +1,99 @@
+"""Shared configuration of the UWB system simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+SPEED_OF_LIGHT = 299_792_458.0  # m/s
+
+
+@dataclass(frozen=True)
+class UwbConfig:
+    """Parameters of the 2-PPM energy-detection link.
+
+    The defaults follow the paper's setup where stated (0.05 ns
+    simulation step -> 20 GS/s; TG4a CM1 channel; 2-PPM with energy
+    detection) and its companion papers' typical choices elsewhere.
+
+    Attributes:
+        fs: sample rate of the waveform-level simulation (Hz).  The
+            paper simulates with a fixed 0.05 ns step, i.e. 20 GS/s.
+        symbol_period: 2-PPM symbol period Ts; a '0' pulse sits in
+            [0, Ts/2), a '1' pulse in [Ts/2, Ts).
+        pulse_tau: Gaussian pulse shape parameter (s).
+        pulse_order: Gaussian-derivative order (5 keeps the 20 GS/s
+            spectrum inside the FCC indoor mask at full scale).
+        integration_window: energy-integration window per slot (s); also
+            the synchronizer search resolution.
+        preamble_symbols: non-modulated preamble length (all pulses in
+            slot 0).
+        payload_bits: payload length used by packet-level simulations.
+        adc_bits / adc_vref: ADC resolution and full-scale input.
+        agc_steps_db / agc_range_db: VGA gain quantization (DAC-driven)
+            and range.
+        noise_temp_windows: windows used by the noise-estimation (NE)
+            phase.
+        sync_symbols: preamble symbols used by the synchronizer's energy
+            search.
+    """
+
+    fs: float = 20e9
+    symbol_period: float = 16e-9
+    pulse_tau: float = 0.09e-9
+    pulse_order: int = 5
+    integration_window: float = 2e-9
+    preamble_symbols: int = 16
+    payload_bits: int = 64
+    adc_bits: int = 5
+    adc_vref: float = 1.0
+    agc_steps_db: float = 2.0
+    agc_range_db: float = 40.0
+    noise_est_windows: int = 32
+    sync_symbols: int = 8
+
+    @property
+    def dt(self) -> float:
+        """Simulation time step (paper: 0.05 ns)."""
+        return 1.0 / self.fs
+
+    @property
+    def slot(self) -> float:
+        """PPM slot duration Ts/2."""
+        return self.symbol_period / 2.0
+
+    @property
+    def samples_per_symbol(self) -> int:
+        return int(round(self.symbol_period * self.fs))
+
+    @property
+    def samples_per_slot(self) -> int:
+        return self.samples_per_symbol // 2
+
+    @property
+    def samples_per_window(self) -> int:
+        return max(1, int(round(self.integration_window * self.fs)))
+
+    def scaled(self, **changes) -> "UwbConfig":
+        """Copy with changed fields (e.g. a faster test configuration)."""
+        return replace(self, **changes)
+
+    def validate(self) -> None:
+        if self.fs <= 0 or self.symbol_period <= 0:
+            raise ValueError("fs and symbol_period must be positive")
+        if self.samples_per_symbol % 2:
+            raise ValueError("symbol period must hold an even number of "
+                             "samples (two PPM slots)")
+        if self.integration_window > self.slot:
+            raise ValueError("integration window cannot exceed the slot")
+
+
+#: A light configuration for unit tests (shorter symbols, lower rate).
+TEST_CONFIG = UwbConfig(
+    fs=8e9,
+    symbol_period=32e-9,
+    pulse_tau=0.8e-9,
+    pulse_order=2,
+    integration_window=4e-9,
+    preamble_symbols=8,
+    payload_bits=32,
+)

@@ -1,0 +1,100 @@
+"""Behavioral RF front end: LNA and DAC-stepped VGA.
+
+Phase-II style models: linear gain with saturation ("saturation in the
+various stages" is one of the effects the paper keeps even in the ideal
+architecture), optional bandwidth limit, and for the VGA a gain that is
+quantized in DAC steps because "its gain is controlled in steps using a
+DA converter within the AGC block".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ams.equations import OnePoleState
+
+
+class Lna:
+    """Low-noise amplifier: fixed gain, optional input-referred noise
+    and output clipping.
+
+    Args:
+        gain_db: voltage gain in dB.
+        sat: output saturation (V); ``None`` disables clipping.
+        noise_sigma: input-referred noise added per sample (V rms).
+    """
+
+    def __init__(self, gain_db: float = 20.0, sat: float | None = 0.9,
+                 noise_sigma: float = 0.0,
+                 rng: np.random.Generator | None = None):
+        self.gain = 10.0 ** (gain_db / 20.0)
+        self.sat = sat
+        self.noise_sigma = float(noise_sigma)
+        self.rng = rng
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if self.noise_sigma > 0.0:
+            if self.rng is None:
+                raise ValueError("noise_sigma set but no rng provided")
+            x = x + self.rng.normal(0.0, self.noise_sigma, size=x.shape)
+        y = self.gain * x
+        if self.sat is not None:
+            y = np.clip(y, -self.sat, self.sat)
+        return y
+
+
+class Vga:
+    """Variable-gain amplifier with DAC-quantized gain steps.
+
+    Args:
+        step_db: gain quantum (the AGC DAC's LSB).
+        min_db / max_db: programmable range.
+        sat: output saturation (V).
+    """
+
+    def __init__(self, step_db: float = 2.0, min_db: float = 0.0,
+                 max_db: float = 40.0, sat: float | None = 0.9):
+        if step_db <= 0:
+            raise ValueError("step_db must be positive")
+        if max_db < min_db:
+            raise ValueError("max_db must be >= min_db")
+        self.step_db = float(step_db)
+        self.min_db = float(min_db)
+        self.max_db = float(max_db)
+        self.sat = sat
+        self._code = 0
+
+    @property
+    def n_codes(self) -> int:
+        return int(math.floor((self.max_db - self.min_db)
+                              / self.step_db)) + 1
+
+    @property
+    def code(self) -> int:
+        return self._code
+
+    @property
+    def gain_db(self) -> float:
+        return self.min_db + self._code * self.step_db
+
+    @property
+    def gain(self) -> float:
+        return 10.0 ** (self.gain_db / 20.0)
+
+    def set_code(self, code: int) -> None:
+        """Program the DAC code (clamped to the valid range)."""
+        self._code = int(np.clip(code, 0, self.n_codes - 1))
+
+    def set_gain_db(self, gain_db: float) -> None:
+        """Program the nearest achievable gain (quantized!)."""
+        code = round((gain_db - self.min_db) / self.step_db)
+        self.set_code(code)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        y = self.gain * np.asarray(x, dtype=float)
+        if self.sat is not None:
+            y = np.clip(y, -self.sat, self.sat)
+        return y

@@ -1,0 +1,229 @@
+"""Integrate & Dump model family across the methodology phases.
+
+Each model exposes two complementary APIs:
+
+* **vectorized**: :meth:`WindowIntegrator.window_outputs` integrates a
+  batch of windows (any leading shape, samples on the last axis), each
+  from a dumped (zero) state - the workhorse of the Monte-Carlo BER
+  engine;
+* **streaming**: :meth:`WindowIntegrator.make_state` returns a
+  per-sample integrate/hold/dump state for the AMS kernel path.
+
+Models:
+
+========================  ======  =============================================
+class                     phase   description
+========================  ======  =============================================
+IdealIntegrator           II      ``vo' = K vin`` (the paper's IDEAL listing)
+TwoPoleIntegrator         IV      gain + two poles (the paper's VHDL-AMS model)
+CircuitSurrogateIntegrator III*   two poles + the *measured* static input
+                                  nonlinearity of the transistor circuit -
+                                  the fast stand-in for ELDO-in-the-loop
+                                  used by BER/TWR sweeps (true co-simulation
+                                  lives in ``repro.uwb.system``)
+========================  ======  =============================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+from scipy import signal as _signal
+
+from repro.ams.equations import (
+    GatedIntegratorState,
+    TwoPoleGatedIntegratorState,
+)
+
+
+class WindowIntegrator:
+    """Common interface of the behavioral integrator models."""
+
+    #: methodology phase the model belongs to (for reports).
+    phase = "II"
+    name = "integrator"
+
+    def window_outputs(self, x: np.ndarray, dt: float) -> np.ndarray:
+        """Integrator output at the end of each window.
+
+        Args:
+            x: input windows, samples along the last axis.
+            dt: sample period.
+
+        Returns:
+            Array of ``x.shape[:-1]`` final values.
+        """
+        raise NotImplementedError
+
+    def response(self, x: np.ndarray, dt: float) -> np.ndarray:
+        """Full output trajectory over each window (same shape as x)."""
+        raise NotImplementedError
+
+    def make_state(self):
+        """A streaming integrate/hold/dump state for the AMS path."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{type(self).__name__} (phase {self.phase})"
+
+
+class IdealIntegrator(WindowIntegrator):
+    """Phase-II ideal gated integrator ``vo' = K * vin``.
+
+    Args:
+        k: integration constant (1/s).  ``K = gain * 2*pi*fp1`` makes it
+            the ideal limit of the two-pole model.
+    """
+
+    phase = "II"
+    name = "ideal"
+
+    #: Default K equals the two-pole model's ``gain * 2*pi*fp1`` so the
+    #: phase-II and phase-IV models agree in their common linear regime
+    #: (window << 1/fp1) and AGC policies target the same level.
+    DEFAULT_K = 10.0 ** (21.0 / 20.0) * 2.0 * math.pi * 0.886e6
+
+    def __init__(self, k: float | None = None):
+        if k is None:
+            k = self.DEFAULT_K
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = float(k)
+
+    @property
+    def ideal_k(self) -> float:
+        """Uniform accessor shared with the two-pole models."""
+        return self.k
+
+    def window_outputs(self, x: np.ndarray, dt: float) -> np.ndarray:
+        return self.k * dt * np.sum(x, axis=-1)
+
+    def response(self, x: np.ndarray, dt: float) -> np.ndarray:
+        return self.k * dt * np.cumsum(x, axis=-1)
+
+    def make_state(self) -> GatedIntegratorState:
+        return GatedIntegratorState(self.k)
+
+
+class TwoPoleIntegrator(WindowIntegrator):
+    """Phase-IV behavioral model: DC gain + two real poles.
+
+    This is the paper's pair of coupled differential equations::
+
+        vin - 1/(2 pi fp1) vq' - vq == 0
+        G vq - 1/(2 pi fp2) vo' - vo == 0
+
+    discretized with the bilinear transform for the vectorized API and
+    with trapezoidal one-pole states for the streaming API (identical
+    mathematics).
+
+    Args:
+        gain: DC gain (linear; paper: 10**(21/20)).
+        fp1_hz / fp2_hz: pole frequencies (paper: 0.886 MHz, 5.895 GHz).
+        input_nonlinearity: optional static pre-distortion f(vin)
+            (vectorized callable); used by the circuit surrogate.
+    """
+
+    phase = "IV"
+    name = "two_pole"
+
+    def __init__(self, gain: float = 10.0 ** (21.0 / 20.0),
+                 fp1_hz: float = 0.886e6, fp2_hz: float = 5.895e9,
+                 input_nonlinearity: Callable[[np.ndarray], np.ndarray]
+                 | None = None):
+        if gain <= 0 or fp1_hz <= 0 or fp2_hz <= 0:
+            raise ValueError("gain and poles must be positive")
+        self.gain = float(gain)
+        self.fp1_hz = float(fp1_hz)
+        self.fp2_hz = float(fp2_hz)
+        self.input_nonlinearity = input_nonlinearity
+        self._filter_cache: dict[float, tuple[np.ndarray, np.ndarray]] = {}
+
+    @property
+    def ideal_k(self) -> float:
+        """The equivalent ideal integration constant ``G * 2 pi fp1``."""
+        return self.gain * 2.0 * math.pi * self.fp1_hz
+
+    def _coeffs(self, dt: float) -> tuple[np.ndarray, np.ndarray]:
+        try:
+            return self._filter_cache[dt]
+        except KeyError:
+            pass
+        w1 = 2.0 * math.pi * self.fp1_hz
+        w2 = 2.0 * math.pi * self.fp2_hz
+        num = [self.gain * w1 * w2]
+        den = [1.0, w1 + w2, w1 * w2]
+        b, a = _signal.bilinear(num, den, fs=1.0 / dt)
+        self._filter_cache[dt] = (b, a)
+        return b, a
+
+    def _pre(self, x: np.ndarray) -> np.ndarray:
+        if self.input_nonlinearity is None:
+            return x
+        return self.input_nonlinearity(x)
+
+    def window_outputs(self, x: np.ndarray, dt: float) -> np.ndarray:
+        b, a = self._coeffs(dt)
+        y = _signal.lfilter(b, a, self._pre(x), axis=-1)
+        return y[..., -1]
+
+    def response(self, x: np.ndarray, dt: float) -> np.ndarray:
+        b, a = self._coeffs(dt)
+        return _signal.lfilter(b, a, self._pre(x), axis=-1)
+
+    def make_state(self) -> TwoPoleGatedIntegratorState:
+        return TwoPoleGatedIntegratorState(
+            self.gain, self.fp1_hz, self.fp2_hz,
+            input_nonlinearity=self.input_nonlinearity)
+
+
+class CircuitSurrogateIntegrator(TwoPoleIntegrator):
+    """Circuit-calibrated behavioral model (the fast ELDO stand-in).
+
+    Identical structure to :class:`TwoPoleIntegrator` but *always*
+    carries an input compression nonlinearity - by default the tanh-like
+    soft limit of the paper's ~100 mV linear input range, or, better, a
+    table extracted from a DC sweep of the transistor netlist via
+    :func:`repro.core.characterize.extract_nonlinearity`.
+
+    Args:
+        vin_linear: input range scale of the default soft limiter (V).
+    """
+
+    phase = "III"
+    name = "circuit"
+
+    def __init__(self, gain: float = 10.0 ** (21.0 / 20.0),
+                 fp1_hz: float = 0.886e6, fp2_hz: float = 5.895e9,
+                 input_nonlinearity: Callable[[np.ndarray], np.ndarray]
+                 | None = None,
+                 vin_linear: float = 0.1):
+        if input_nonlinearity is None:
+            scale = float(vin_linear)
+
+            def soft_limit(v: np.ndarray) -> np.ndarray:
+                return scale * np.tanh(np.asarray(v) / scale)
+
+            input_nonlinearity = soft_limit
+        super().__init__(gain=gain, fp1_hz=fp1_hz, fp2_hz=fp2_hz,
+                         input_nonlinearity=input_nonlinearity)
+        self.vin_linear = float(vin_linear)
+
+
+def tabulated_nonlinearity(vin: np.ndarray, f_of_vin: np.ndarray
+                           ) -> Callable[[np.ndarray], np.ndarray]:
+    """Build an interpolating static nonlinearity from measured points
+    (clamping outside the measured range)."""
+    vin = np.asarray(vin, dtype=float)
+    f_of_vin = np.asarray(f_of_vin, dtype=float)
+    if vin.ndim != 1 or vin.shape != f_of_vin.shape:
+        raise ValueError("vin and f_of_vin must be matching 1-D arrays")
+    if np.any(np.diff(vin) <= 0):
+        raise ValueError("vin grid must be strictly increasing")
+
+    def fn(v: np.ndarray) -> np.ndarray:
+        return np.interp(v, vin, f_of_vin)
+
+    return fn

@@ -1,0 +1,87 @@
+"""Spice co-simulation block inside the AMS kernel."""
+
+import math
+
+import pytest
+
+from repro.ams import CallbackBlock, Simulator, SpiceBlock
+from repro.spice import Capacitor, Circuit, Resistor, VoltageSource
+
+
+def rc_circuit(r=1e3, c=1e-12) -> Circuit:
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("vin", "in", "0", dc=0.0),
+            Resistor("r1", "in", "out", r),
+            Capacitor("c1", "out", "0", c))
+    return ckt
+
+
+class TestSpiceBlock:
+    def test_tracks_input_quantity(self):
+        sim = Simulator(dt=1e-11)
+        drive = sim.quantity("drive", init=0.0)
+        out = sim.quantity("out")
+        sim.add_block(CallbackBlock("src", lambda: 1.0,
+                                    inputs=[], outputs=[drive]))
+        sim.add_block(SpiceBlock(
+            "rc", rc_circuit(), sim.dt,
+            inputs={"vin": lambda: drive.value},
+            outputs={out: lambda st: st.v("out")}))
+        sim.run(10e-9)  # 10 tau
+        assert out.value == pytest.approx(1.0, abs=1e-3)
+
+    def test_substeps(self):
+        sim = Simulator(dt=4e-11)
+        drive = sim.quantity("drive", init=1.0)
+        out = sim.quantity("out")
+        block = SpiceBlock(
+            "rc", rc_circuit(), sim.dt,
+            inputs={"vin": lambda: drive.value},
+            outputs={out: lambda st: st.v("out")},
+            substeps=4)
+        sim.add_block(block)
+        sim.run(8e-9)
+        assert block.stepper.steps_taken == sim.steps * 4
+        assert out.value == pytest.approx(1.0, abs=1e-3)
+
+    def test_initial_dc_solution_exported(self):
+        sim = Simulator(dt=1e-11)
+        drive = sim.quantity("drive", init=0.7)
+        out = sim.quantity("out")
+        SpiceBlock("rc", rc_circuit(), sim.dt,
+                   inputs={"vin": lambda: drive.value},
+                   outputs={out: lambda st: st.v("out")})
+        # DC operating point with vin = 0.7 -> out = 0.7 already at t=0
+        assert out.value == pytest.approx(0.7, abs=1e-6)
+
+    def test_substep_validation(self):
+        sim = Simulator(dt=1e-11)
+        out = sim.quantity("out")
+        with pytest.raises(ValueError):
+            SpiceBlock("rc", rc_circuit(), sim.dt,
+                       inputs={"vin": lambda: 0.0},
+                       outputs={out: lambda st: st.v("out")},
+                       substeps=0)
+
+    def test_dynamic_input_follows_sine(self):
+        sim = Simulator(dt=1e-11)
+        drive = sim.quantity("drive", init=0.0)
+        out = sim.quantity("out")
+        freq = 1e8  # well below RC pole at 159 MHz -> passes with
+        # moderate attenuation
+
+        sim.add_block(CallbackBlock(
+            "src", lambda: math.sin(2 * math.pi * freq * sim.t),
+            inputs=[], outputs=[drive]))
+        sim.add_block(SpiceBlock(
+            "rc", rc_circuit(), sim.dt,
+            inputs={"vin": lambda: drive.value},
+            outputs={out: lambda st: st.v("out")}))
+        sim.run(30e-9)
+        expected_mag = 1.0 / math.sqrt(1 + (freq / 1.59e8) ** 2)
+        # after settling, the output swings with roughly that amplitude
+        peak = 0.0
+        for _ in range(1000):
+            sim.run_steps(1)
+            peak = max(peak, abs(out.value))
+        assert peak == pytest.approx(expected_mag, rel=0.1)

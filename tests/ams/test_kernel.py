@@ -1,0 +1,178 @@
+"""Mixed-signal kernel: signals, processes, scheduling, blocks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ams import (
+    AnalogBlock,
+    CallbackBlock,
+    Process,
+    Quantity,
+    Recorder,
+    Signal,
+    Simulator,
+)
+
+
+class TestSignals:
+    def test_assign_is_delta_delayed(self):
+        sim = Simulator(dt=1e-9)
+        s = sim.signal("s", init=0)
+        s.assign(1)
+        assert s.value == 0  # not yet applied
+        sim.initialize()
+        assert s.value == 1
+
+    def test_assign_after_delay(self):
+        sim = Simulator(dt=1e-9)
+        s = sim.signal("s", init=0)
+        s.assign(1, after=5e-9)
+        sim.run(3e-9)
+        assert s.value == 0
+        sim.run(6e-9)
+        assert s.value == 1
+
+    def test_watchers_fire_on_change_only(self):
+        sim = Simulator(dt=1e-9)
+        s = sim.signal("s", init=0)
+        hits = []
+        s.watch(lambda sig: hits.append(sig.value))
+        s.assign(0)  # no change
+        s.assign(1)
+        sim.initialize()
+        assert hits == [1]
+
+    def test_unbound_signal_rejects_assign(self):
+        s = Signal("lonely")
+        with pytest.raises(RuntimeError):
+            s.assign(1)
+
+    def test_signal_registry_returns_same(self):
+        sim = Simulator(dt=1e-9)
+        assert sim.signal("a") is sim.signal("a")
+
+
+class TestProcesses:
+    def test_sensitivity_triggers(self):
+        sim = Simulator(dt=1e-9)
+        clk = sim.signal("clk", init=0)
+        count = []
+        sim.add_process(Process("p", lambda s: count.append(s.t),
+                                sensitivity=[clk]))
+        sim.every(2e-9, lambda s: clk.assign(1 - clk.value))
+        sim.run(10e-9)
+        # ticks at 0, 2, 4, 6, 8 and 10 ns -> six toggles
+        assert len(count) == 6
+
+    def test_every_period_validation(self):
+        sim = Simulator(dt=1e-9)
+        with pytest.raises(ValueError):
+            sim.every(0.0, lambda s: None)
+
+    def test_schedule_order(self):
+        sim = Simulator(dt=1e-9)
+        order = []
+        sim.schedule(2e-9, lambda: order.append("b"))
+        sim.schedule(1e-9, lambda: order.append("a"))
+        sim.schedule(2e-9, lambda: order.append("c"))
+        sim.run(3e-9)
+        assert order == ["a", "b", "c"]
+
+    def test_schedule_past_rejected(self):
+        sim = Simulator(dt=1e-9)
+        with pytest.raises(ValueError):
+            sim.schedule(-1e-9, lambda: None)
+
+
+class TestBlocks:
+    def test_single_driver_enforced(self):
+        sim = Simulator(dt=1e-9)
+        q = sim.quantity("q")
+        CallbackBlock("a", lambda: 1.0, inputs=[], outputs=[q])
+        with pytest.raises(RuntimeError):
+            CallbackBlock("b", lambda: 2.0, inputs=[], outputs=[q])
+
+    def test_callback_chain(self):
+        sim = Simulator(dt=1e-9)
+        a = sim.quantity("a", init=2.0)
+        b = sim.quantity("b")
+        c = sim.quantity("c")
+        sim.add_block(CallbackBlock("sq", lambda v: v * v,
+                                    inputs=[a], outputs=[b]))
+        sim.add_block(CallbackBlock("neg", lambda v: -v,
+                                    inputs=[b], outputs=[c]))
+        sim.run_steps(1)
+        assert c.value == -4.0
+
+    def test_multi_output_callback(self):
+        sim = Simulator(dt=1e-9)
+        a = sim.quantity("a", init=3.0)
+        b = sim.quantity("b")
+        c = sim.quantity("c")
+        sim.add_block(CallbackBlock("split", lambda v: (v + 1, v - 1),
+                                    inputs=[a], outputs=[b, c]))
+        sim.run_steps(1)
+        assert (b.value, c.value) == (4.0, 2.0)
+
+    def test_steps_and_time(self):
+        sim = Simulator(dt=1e-9)
+        sim.run(10e-9)
+        assert sim.steps == 10
+        assert sim.t == pytest.approx(10e-9)
+
+    def test_dt_validation(self):
+        with pytest.raises(ValueError):
+            Simulator(dt=0.0)
+
+    def test_cpu_time_accumulates(self):
+        sim = Simulator(dt=1e-9)
+        sim.run(100e-9)
+        assert sim.cpu_time > 0
+
+
+class TestRecorderAndTrace:
+    def test_recorder_samples_every_step(self):
+        sim = Simulator(dt=1e-9)
+        q = sim.quantity("q")
+        sim.add_block(CallbackBlock("ramp", lambda: sim.t * 1e9,
+                                    inputs=[], outputs=[q]))
+        rec = Recorder(sim, [q])
+        sim.run(5e-9)
+        trace = rec.trace("q")
+        assert len(trace) == 5
+        # the block reads sim.t before the step commits, so the last
+        # recorded value lags one step
+        assert trace.values[-1] == pytest.approx(4.0)
+
+    def test_decimation(self):
+        sim = Simulator(dt=1e-9)
+        q = sim.quantity("q", init=1.0)
+        sim.add_block(CallbackBlock("id", lambda v: v, inputs=[q],
+                                    outputs=[sim.quantity("q2")]))
+        rec = Recorder(sim, [q], decimate=4)
+        sim.run(16e-9)
+        assert len(rec.t) == 4
+
+    def test_trace_measurements(self):
+        import numpy as np
+
+        from repro.ams.waveform import Trace
+
+        t = np.linspace(0.0, 1.0, 101)
+        tr = Trace("sin", t, np.sin(2 * math.pi * t))
+        downs = tr.crossings(0.0, rising=False)
+        assert len(downs) == 1
+        assert downs[0] == pytest.approx(0.5, abs=0.02)
+        assert tr.maximum() == pytest.approx(1.0, abs=1e-3)
+        assert tr.window(0.0, 0.5).maximum() == pytest.approx(1.0,
+                                                              abs=1e-3)
+        assert tr.rms() == pytest.approx(1 / math.sqrt(2), abs=0.01)
+
+    def test_unknown_probe(self):
+        sim = Simulator(dt=1e-9)
+        q = sim.quantity("q")
+        rec = Recorder(sim, [q])
+        with pytest.raises(KeyError):
+            rec.trace("nope")

@@ -1,0 +1,54 @@
+"""Ablation harnesses (noise shaping; AGC ablation is covered in
+test_experiments.py)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_noise_shaping_ablation
+from repro.experiments.table1_cpu import Table1Result
+from repro.core.metrics import CpuTimeReport
+
+
+class TestNoiseShaping:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_noise_shaping_ablation(
+            ebn0_db=12.0, fp2_grid=(1e9, 6e9, 20e9), seed=7, quick=True)
+
+    def test_shaping_direction(self, result):
+        """Lowering fp2 into the squared-noise band must not hurt, and
+        typically helps (the paper's figure-6 mechanism), with paired
+        noise making the comparison deterministic."""
+        assert result.ber_shaped[0] <= result.ber_ideal * 1.02
+
+    def test_wide_pole_equals_ideal(self, result):
+        """fp2 far above the noise band is indistinguishable from the
+        ideal integrator."""
+        assert result.ber_shaped[-1] == pytest.approx(
+            result.ber_ideal, rel=0.1)
+
+    def test_report(self, result):
+        text = result.format_report()
+        assert "noise shaping" in text and "vs ideal" in text
+
+
+class TestTable1Helpers:
+    def _result(self, eldo, model, ideal):
+        report = CpuTimeReport(simulated_time=1e-6)
+        report.add("ELDO", eldo)
+        report.add("VHDL-AMS", model)
+        report.add("IDEAL", ideal)
+        return Table1Result(report=report, bits={}, tx_bits=np.zeros(0))
+
+    def test_cosim_dominates(self):
+        assert self._result(10.0, 0.5, 0.4).cosim_dominates()
+        assert not self._result(0.6, 0.5, 0.4).cosim_dominates()
+
+    def test_model_ratio(self):
+        assert self._result(10.0, 0.8, 0.4).model_vs_ideal_ratio() == \
+            pytest.approx(2.0)
+
+    def test_report_mentions_paper(self):
+        text = self._result(10.0, 0.5, 0.4).format_report()
+        assert "paper ratios" in text
+        assert "6.5x" in text

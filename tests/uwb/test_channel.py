@@ -1,0 +1,135 @@
+"""IEEE 802.15.4a CM1 channel and AWGN."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uwb.channel import (
+    AwgnChannel,
+    CM1_PARAMETERS,
+    Cm1Channel,
+    noise_sigma_for_ebn0,
+    path_loss_db,
+)
+from repro.uwb.config import SPEED_OF_LIGHT
+
+
+class TestPathLoss:
+    def test_reference_point(self):
+        assert path_loss_db(1.0) == pytest.approx(43.9)
+
+    def test_exponent(self):
+        delta = path_loss_db(10.0) - path_loss_db(1.0)
+        assert delta == pytest.approx(10 * 1.79, rel=1e-6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            path_loss_db(0.0)
+
+
+class TestCm1Realizations:
+    def test_energy_matches_path_loss(self):
+        chan = Cm1Channel(20e9)
+        rng = np.random.default_rng(0)
+        real = chan.realize(9.9, rng)
+        expected = 10.0 ** (-path_loss_db(9.9) / 10.0)
+        assert real.energy_gain() == pytest.approx(expected, rel=1e-9)
+
+    def test_unit_energy_without_path_loss(self):
+        chan = Cm1Channel(20e9, apply_path_loss=False)
+        real = chan.realize(5.0, np.random.default_rng(1))
+        assert real.energy_gain() == pytest.approx(1.0, rel=1e-9)
+
+    def test_los_delay(self):
+        chan = Cm1Channel(20e9)
+        real = chan.realize(9.9, np.random.default_rng(2))
+        expected = int(round(9.9 / SPEED_OF_LIGHT * 20e9))
+        assert real.delay_samples == expected
+        assert real.delay_seconds == pytest.approx(expected / 20e9)
+
+    def test_first_tap_is_strongest_on_average(self):
+        """CM1 is LOS: the deterministic first path dominates."""
+        chan = Cm1Channel(20e9, apply_path_loss=False)
+        rng = np.random.default_rng(3)
+        wins = 0
+        for _ in range(20):
+            real = chan.realize(9.9, rng)
+            if np.argmax(np.abs(real.taps)) == 0:
+                wins += 1
+        assert wins >= 15
+
+    def test_decaying_power_profile(self):
+        chan = Cm1Channel(20e9, apply_path_loss=False)
+        rng = np.random.default_rng(4)
+        profile = np.zeros(chan_taps(chan))
+        for _ in range(30):
+            profile += chan.realize(9.9, rng).taps ** 2
+        early = profile[: len(profile) // 4].sum()
+        late = profile[-len(profile) // 4:].sum()
+        assert early > 5 * late
+
+    def test_rms_delay_spread_in_range(self):
+        """CM1 RMS delay spread is on the order of 10-20 ns."""
+        chan = Cm1Channel(20e9, apply_path_loss=False)
+        rng = np.random.default_rng(5)
+        spreads = [chan.realize(9.9, rng).rms_delay_spread()
+                   for _ in range(10)]
+        assert 2e-9 < np.median(spreads) < 40e-9
+
+    def test_apply_shapes(self):
+        chan = Cm1Channel(20e9)
+        real = chan.realize(3.0, np.random.default_rng(6))
+        x = np.zeros(100)
+        x[0] = 1.0
+        y = real.apply(x, extra_tail=7)
+        assert len(y) == real.delay_samples + 100 + len(real.taps) - 1 + 7
+        # nothing before the flight delay
+        assert np.all(y[: real.delay_samples] == 0.0)
+
+    def test_seed_reproducibility(self):
+        chan = Cm1Channel(20e9)
+        a = chan.realize(9.9, np.random.default_rng(7)).taps
+        b = chan.realize(9.9, np.random.default_rng(7)).taps
+        assert np.array_equal(a, b)
+
+    def test_distance_validation(self):
+        chan = Cm1Channel(20e9)
+        with pytest.raises(ValueError):
+            chan.realize(-1.0, np.random.default_rng(0))
+
+
+def chan_taps(chan: Cm1Channel) -> int:
+    return int(round(chan.max_excess_delay * chan.fs)) + 1
+
+
+class TestAwgn:
+    def test_sigma_for_ebn0(self):
+        eb = 1e-12
+        fs = 20e9
+        sigma = noise_sigma_for_ebn0(eb, 10.0, fs)
+        n0 = eb / 10.0
+        assert sigma == pytest.approx(math.sqrt(n0 * fs / 2.0))
+        with pytest.raises(ValueError):
+            noise_sigma_for_ebn0(-1.0, 10.0, fs)
+
+    def test_channel_statistics(self):
+        chan = AwgnChannel(0.5, np.random.default_rng(8))
+        y = chan(np.zeros(200_000))
+        assert np.std(y) == pytest.approx(0.5, rel=0.02)
+        assert np.mean(y) == pytest.approx(0.0, abs=0.01)
+
+    def test_zero_sigma_copies(self):
+        x = np.ones(10)
+        chan = AwgnChannel(0.0, np.random.default_rng(9))
+        y = chan(x)
+        assert np.array_equal(x, y)
+        assert y is not x
+
+    @given(st.floats(1.0, 20.0))
+    @settings(max_examples=10, deadline=None)
+    def test_sigma_monotone_in_ebn0(self, ebn0):
+        s1 = noise_sigma_for_ebn0(1e-12, ebn0, 20e9)
+        s2 = noise_sigma_for_ebn0(1e-12, ebn0 + 1.0, 20e9)
+        assert s2 < s1

@@ -1,0 +1,133 @@
+"""Vectorized BER engine and the AMS-kernel receiver."""
+
+import numpy as np
+import pytest
+
+from repro.uwb import UwbConfig, ber_curve, simulate_ber_point
+from repro.uwb.bpf import BandPassFilter
+from repro.uwb.fastsim import theoretical_ppm_awgn_ber
+from repro.uwb.integrator import (
+    CircuitSurrogateIntegrator,
+    IdealIntegrator,
+    TwoPoleIntegrator,
+)
+from repro.uwb.modulation import ppm_waveform, random_bits
+from repro.uwb.system import make_integrator, run_ams_receiver
+
+FAST = UwbConfig(fs=8e9, symbol_period=16e-9, pulse_tau=0.225e-9,
+                 pulse_order=5, integration_window=2e-9)
+
+
+class TestFastsim:
+    def test_ber_decreases_with_snr(self):
+        res = ber_curve(FAST, IdealIntegrator(), [2.0, 8.0, 14.0],
+                        np.random.default_rng(3),
+                        target_errors=40, max_bits=8000, min_bits=800)
+        assert res.ber[0] > res.ber[1] > res.ber[2]
+
+    def test_high_snr_nearly_clean(self):
+        errors, bits = simulate_ber_point(
+            FAST, IdealIntegrator(), 25.0, np.random.default_rng(4),
+            target_errors=10, max_bits=3000, min_bits=1000)
+        assert errors / bits < 0.01
+
+    def test_paired_seed_reproducible(self):
+        kwargs = dict(target_errors=20, max_bits=3000, min_bits=500)
+        a = simulate_ber_point(FAST, IdealIntegrator(), 8.0,
+                               np.random.default_rng(5), **kwargs)
+        b = simulate_ber_point(FAST, IdealIntegrator(), 8.0,
+                               np.random.default_rng(5), **kwargs)
+        assert a == b
+
+    def test_two_pole_close_to_ideal_at_drive(self):
+        kwargs = dict(target_errors=50, max_bits=6000, min_bits=2000,
+                      squarer_drive=0.05)
+        e_i, n_i = simulate_ber_point(FAST, IdealIntegrator(), 10.0,
+                                      np.random.default_rng(6), **kwargs)
+        e_t, n_t = simulate_ber_point(FAST, TwoPoleIntegrator(), 10.0,
+                                      np.random.default_rng(6), **kwargs)
+        assert abs(e_i / n_i - e_t / n_t) < 0.05
+
+    def test_overdrive_degrades_circuit_ber(self):
+        kwargs = dict(target_errors=60, max_bits=8000, min_bits=3000)
+        e_lin, n_lin = simulate_ber_point(
+            FAST, CircuitSurrogateIntegrator(), 10.0,
+            np.random.default_rng(7), squarer_drive=0.05, **kwargs)
+        e_sat, n_sat = simulate_ber_point(
+            FAST, CircuitSurrogateIntegrator(), 10.0,
+            np.random.default_rng(7), squarer_drive=0.35, **kwargs)
+        assert e_sat / n_sat > e_lin / n_lin
+
+    def test_result_rows(self):
+        res = ber_curve(FAST, IdealIntegrator(), [5.0],
+                        np.random.default_rng(8),
+                        target_errors=10, max_bits=1000, min_bits=500,
+                        label="x")
+        rows = res.as_rows()
+        assert len(rows) == 1
+        assert rows[0][3] >= 500
+        assert res.label == "x"
+
+    def test_theoretical_reference(self):
+        ber = theoretical_ppm_awgn_ber([0.0, 10.0])
+        # Q(1) = 0.1587 at Eb/N0 = 0 dB
+        assert ber[0] == pytest.approx(0.1587, abs=1e-3)
+        assert ber[1] < ber[0]
+
+
+class TestAmsReceiver:
+    def _clean_signal(self, bits, noise=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        wave = ppm_waveform(bits, FAST, amplitude=1.0)
+        if noise:
+            wave = wave + rng.normal(0.0, noise, len(wave))
+        bpf = BandPassFilter.for_pulse(FAST.fs, FAST.pulse_tau,
+                                       FAST.pulse_order)
+        sig = bpf(wave)
+        return 0.25 * sig / np.max(np.abs(sig))
+
+    def test_noise_free_demodulation(self):
+        bits = np.array([1, 0, 0, 1, 1, 0], dtype=np.int8)
+        sig = self._clean_signal(bits)
+        for kind in ("ideal", "two_pole", "surrogate"):
+            res = run_ams_receiver(FAST, kind, sig)
+            assert np.array_equal(res.bits, bits), kind
+
+    def test_cosim_demodulation(self):
+        bits = np.array([1, 0, 1], dtype=np.int8)
+        sig = self._clean_signal(bits)
+        res = run_ams_receiver(FAST, "circuit", sig)
+        assert np.array_equal(res.bits, bits)
+        assert res.cpu_time > 0
+
+    def test_cosim_slower_than_behavioral(self):
+        bits = np.array([1, 0], dtype=np.int8)
+        sig = self._clean_signal(bits)
+        fast = run_ams_receiver(FAST, "ideal", sig)
+        slow = run_ams_receiver(FAST, "circuit", sig)
+        assert slow.cpu_time > 2.0 * fast.cpu_time
+
+    def test_recorder_attached(self):
+        bits = np.array([0, 1], dtype=np.int8)
+        sig = self._clean_signal(bits)
+        res = run_ams_receiver(FAST, "ideal", sig, record=True)
+        assert res.recorder is not None
+        trace = res.recorder.trace("int_out")
+        assert trace.maximum() > 0
+
+    def test_slot_values_shape(self):
+        bits = np.zeros(4, dtype=np.int8)
+        sig = self._clean_signal(bits)
+        res = run_ams_receiver(FAST, "ideal", sig)
+        assert res.slot_values.shape == (4, 2)
+        # preamble-like zeros: slot 0 collects the energy
+        assert np.all(res.slot_values[:, 0] > res.slot_values[:, 1])
+
+    def test_make_integrator_resolution(self):
+        assert isinstance(make_integrator("ideal"), IdealIntegrator)
+        assert isinstance(make_integrator("two_pole"), TwoPoleIntegrator)
+        assert make_integrator("circuit") == "circuit"
+        inst = TwoPoleIntegrator()
+        assert make_integrator(inst) is inst
+        with pytest.raises(ValueError):
+            make_integrator("quantum")
