@@ -4,15 +4,52 @@ Every benchmark regenerates one table or figure of the paper, prints the
 report (run pytest with ``-s`` to see them), stores the headline numbers
 in ``benchmark.extra_info`` and asserts the qualitative claim.
 Paper-scale (slow) variants are enabled with ``REPRO_FULL=1``.
+
+Timing-relevant benchmarks additionally write machine-readable
+``BENCH_<name>.json`` artifacts (via :func:`write_bench_artifact`) so
+the performance trajectory is tracked PR-over-PR.  By default they land
+in the gitignored ``.benchmarks/`` directory, keeping plain test runs
+from dirtying the tracked ``BENCH_*.json`` copies at the repo root; to
+refresh those intentionally, run with ``REPRO_BENCH_DIR=.``.
 """
 
+import json
 import os
+import pathlib
+import platform
 
 import pytest
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 def full_scale() -> bool:
     return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def write_bench_artifact(name: str, payload: dict) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` with the given headline numbers.
+
+    Relative ``REPRO_BENCH_DIR`` values resolve against the repo root
+    (not the pytest CWD), so ``REPRO_BENCH_DIR=.`` refreshes the
+    committed copies no matter where pytest was launched from.
+    """
+    override = os.environ.get("REPRO_BENCH_DIR")
+    if override is None:
+        out_dir = _REPO_ROOT / ".benchmarks"
+    else:
+        out_dir = _REPO_ROOT / override  # absolute overrides win
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    record = {
+        "benchmark": name,
+        "full_scale": full_scale(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    record.update(payload)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture

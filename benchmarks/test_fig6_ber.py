@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 6 (BER vs Eb/N0, ideal vs circuit)."""
 
-from benchmarks.conftest import full_scale
+from benchmarks.conftest import full_scale, write_bench_artifact
 from repro.experiments import run_fig6
 
 
@@ -11,11 +11,19 @@ def test_fig6_ber_curves(benchmark, report_sink):
     result = benchmark.pedantic(
         lambda: run_fig6(ebn0_grid=grid, quick=quick, seed=7),
         rounds=1, iterations=1)
+    wall = benchmark.stats.stats.total  # the single pedantic round
     report_sink(result.format_report())
     cmp_ = result.comparison
     benchmark.extra_info["ber_ideal"] = [float(x) for x in cmp_.ber_a]
     benchmark.extra_info["ber_circuit"] = [float(x) for x in cmp_.ber_b]
     benchmark.extra_info["winner_high_snr"] = cmp_.wins_at_high_snr()
+    write_bench_artifact("fig6", {
+        "wall_seconds": round(wall, 4),
+        "ebn0_db": [float(x) for x in cmp_.ebn0_db],
+        "ber_ideal": [float(x) for x in cmp_.ber_a],
+        "ber_circuit": [float(x) for x in cmp_.ber_b],
+        "winner_high_snr": cmp_.wins_at_high_snr(),
+    })
     # Shape: monotone decrease; circuit at or below ideal at the top
     # grid point (paired noise).
     assert result.monotone

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim (metadata lives in pyproject.toml).
+
+``pip install -e .`` is the supported path; this shim additionally
+keeps ``python setup.py develop`` working in offline environments that
+lack the ``wheel`` package, so the src/ layout is importable without
+``PYTHONPATH=src``.
+"""
+
+from setuptools import setup
+
+setup()

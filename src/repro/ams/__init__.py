@@ -29,10 +29,20 @@ from repro.ams.equations import (
 )
 from repro.ams.waveform import Recorder, Trace
 from repro.ams.cosim import SpiceBlock
+from repro.ams.engine import (
+    CompiledEngine,
+    ExecutionEngine,
+    ReferenceEngine,
+    get_engine,
+)
 
 __all__ = [
     "AnalogBlock",
     "CallbackBlock",
+    "CompiledEngine",
+    "ExecutionEngine",
+    "ReferenceEngine",
+    "get_engine",
     "GatedIntegratorState",
     "OnePoleState",
     "Process",

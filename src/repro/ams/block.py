@@ -20,7 +20,23 @@ class AnalogBlock:
 
     Subclasses implement :meth:`step` and may also implement
     :meth:`reset` for reuse across runs.
+
+    **Vectorized protocol.**  A block may additionally implement::
+
+        step_block(t0, dt, n, inputs) -> sequence of output arrays
+
+    advancing the block by *n* consecutive steps at once: ``inputs[i]``
+    is the ``(n,)`` array of values of ``self.inputs[i]`` at times
+    ``t0 + dt``, ..., ``t0 + n*dt``, and the return value is one ``(n,)``
+    array per declared output.  The contract is equivalence with *n*
+    sequential :meth:`step` calls; the kernel guarantees digital signals
+    are constant over the window.  Blocks that cannot vectorize (e.g.
+    Spice co-simulation) leave ``step_block`` as ``None``, which makes
+    the compiled engine fall back to lock-step execution.
     """
+
+    #: Optional vectorized protocol; ``None`` means lock-step only.
+    step_block = None
 
     def __init__(self, name: str,
                  inputs: Iterable[Quantity] = (),
@@ -50,12 +66,28 @@ class CallbackBlock(AnalogBlock):
 
         squarer = CallbackBlock("squarer", lambda v: v * v,
                                 inputs=[vga_out], outputs=[sq_out])
+
+    Args:
+        vectorized: opt-in declaration that *fn* is a pure elementwise
+            function of its inputs that also accepts NumPy arrays
+            (true for arithmetic like the VGA gain or the squarer),
+            unlocking the compiled engine's segment execution.  The
+            default is ``False`` - conservative on purpose: a callback
+            with hidden state or side effects (an accumulator closure,
+            a read of ``sim.t``) would produce silently wrong physics
+            if batched, so lock-step is the contract unless the author
+            promises otherwise.  Zero-input callbacks always opt out,
+            since their output cannot be proven constant over a
+            segment.
     """
 
     def __init__(self, name: str, fn: Callable, *,
-                 inputs: Sequence[Quantity], outputs: Sequence[Quantity]):
+                 inputs: Sequence[Quantity], outputs: Sequence[Quantity],
+                 vectorized: bool = False):
         super().__init__(name, inputs, outputs)
         self.fn = fn
+        if not (vectorized and self.inputs):
+            self.step_block = None  # instance-level opt-out
 
     def step(self, t: float, dt: float) -> None:
         result = self.fn(*(q.value for q in self.inputs))
@@ -64,3 +96,10 @@ class CallbackBlock(AnalogBlock):
         else:
             for out, val in zip(self.outputs, result):
                 out.value = float(val)
+
+    def step_block(self, t0: float, dt: float, n: int, inputs):
+        result = self.fn(*inputs)
+        # The engine validates shapes and broadcasts scalar results.
+        if len(self.outputs) == 1:
+            return (result,)
+        return result

@@ -42,7 +42,15 @@ class SpiceBlock(AnalogBlock):
         method: integration method of the embedded transient.
         initial_overrides: source values for the initial DC solve.
         initial_guess: node-voltage hints for the initial DC solve.
+
+    A Spice block deliberately does **not** implement the vectorized
+    ``step_block`` protocol: its inputs are closures over live kernel
+    state and each circuit step needs a Newton solve, so segments with a
+    circuit in the loop always run lock-step (the compiled engine falls
+    back automatically).
     """
+
+    step_block = None  # circuit-in-the-loop segments stay lock-step
 
     def __init__(self, name: str, circuit: Circuit, dt: float, *,
                  inputs: Mapping[str, Callable[[], float]],

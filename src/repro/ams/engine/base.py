@@ -1,0 +1,42 @@
+"""Execution-engine protocol of the AMS kernel.
+
+The :class:`~repro.ams.kernel.Simulator` owns the model (blocks,
+quantities, signals, event queue); an :class:`ExecutionEngine` owns the
+*strategy* used to advance it.  Two engines ship with the kernel:
+
+* :class:`~repro.ams.engine.reference.ReferenceEngine` - the original
+  lock-step loop (one Python ``block.step`` call per block per analog
+  step).  It is the semantic oracle: every other engine must reproduce
+  its results.
+* :class:`~repro.ams.engine.compiled.CompiledEngine` - analyzes the
+  block graph and executes whole inter-event segments as NumPy array
+  operations, falling back to the lock-step loop when the model cannot
+  be compiled (Spice-in-the-loop blocks, non-vectorizable callbacks,
+  feedback topologies, opaque step hooks).
+"""
+
+from __future__ import annotations
+
+
+class ExecutionEngine:
+    """Strategy object advancing a :class:`Simulator` to a stop time.
+
+    Engines hold no model state: time, quantities, signals, queue and
+    counters all live on the simulator, so a model can be advanced by
+    different engines in turn.  An engine may keep per-run diagnostics
+    (e.g. :attr:`CompiledEngine.fallback_reason`), which always refer
+    to its most recent ``run`` - give each simulator its own engine
+    instance (the default when constructing with a name spec) if those
+    diagnostics must stay separate.
+    """
+
+    #: Registry key of the engine (also accepted by ``Simulator(engine=...)``).
+    name = "base"
+
+    def run(self, sim, t_stop: float) -> None:
+        """Advance *sim* until *t_stop*, updating ``sim.t``, ``sim.steps``
+        and ``sim.cpu_time`` exactly as the reference loop would."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

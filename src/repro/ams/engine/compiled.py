@@ -1,0 +1,282 @@
+"""Segment-vectorized execution of the analog block graph.
+
+The lock-step reference loop pays one Python call per block per 0.05 ns
+step - interpreter overhead dominates even the cheapest behavioral
+models.  This engine exploits the structure the kernel already
+guarantees:
+
+* digital signals change **only** while the event queue drains, so
+  between two consecutive events every block sees constant control
+  inputs;
+* blocks execute in registration order respecting signal flow, so the
+  quantity values of a whole inter-event segment can be computed as
+  arrays, one block at a time.
+
+``run`` therefore walks from event to event: it computes how many analog
+steps fit before the next event fires, asks every block for its whole
+segment at once via the optional
+:meth:`~repro.ams.block.AnalogBlock.step_block` protocol, commits the
+final values to the quantities, and only then drains the queue - exactly
+the observable semantics of the reference loop, minus the per-step
+interpreter round trips.
+
+A model *compiles* when every block implements ``step_block``, block
+order is feed-forward (no input driven by a later block), and every step
+hook supports the vectorized ``hook_block`` protocol (the kernel's
+:class:`~repro.ams.waveform.Recorder` does).  Otherwise the engine falls
+back to the reference loop for the whole run - Spice co-simulation
+blocks opt out this way, keeping circuit-in-the-loop runs lock-step.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+
+import numpy as np
+
+from repro.ams.engine.base import ExecutionEngine
+from repro.ams.engine.reference import ReferenceEngine
+
+_FLOAT64 = np.dtype(np.float64)
+
+
+class CompiledEngine(ExecutionEngine):
+    """Inter-event segment execution with NumPy array operations.
+
+    Attributes:
+        fallback_reason: after :meth:`run`, ``None`` if the model was
+            executed segment-vectorized, else a human-readable reason the
+            engine delegated to the reference loop.
+    """
+
+    name = "compiled"
+
+    #: Max analog steps per pre-computed time-grid chunk (~8 MB of
+    #: float64); bounds memory on arbitrarily long runs.
+    GRID_CHUNK = 1 << 20
+
+    def __init__(self) -> None:
+        self.fallback_reason: str | None = None
+        self._reference = ReferenceEngine()
+
+    # ------------------------------------------------------------------
+    # graph analysis
+    # ------------------------------------------------------------------
+    def explain(self, sim) -> str | None:
+        """Why *sim* cannot be compiled (``None`` if it can)."""
+        driven_later: set = set()
+        for block in reversed(sim.blocks):
+            if block.step_block is None:
+                return (f"block {block.name!r} does not implement "
+                        "step_block (lock-step only)")
+            # A block's own outputs count: reading one is a one-step-
+            # delay self-loop, valid only lock-step.
+            for q in block.outputs:
+                driven_later.add(q)
+            for q in block.inputs:
+                if q in driven_later:
+                    return (f"block {block.name!r} reads {q.name!r} "
+                            "driven by itself or a later block "
+                            "(feedback topology)")
+        for hook in sim._step_hooks:
+            if getattr(hook, "hook_block", None) is None:
+                return (f"step hook {hook!r} does not implement "
+                        "hook_block")
+        return None
+
+    # ------------------------------------------------------------------
+    # graph compilation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _compile(blocks) -> tuple[list, list, dict]:
+        """Lower the block list to a slot-indexed execution plan.
+
+        Quantities become integer slots into a flat per-segment array
+        table; the plan rows carry the pre-bound ``step_block`` methods
+        so the segment loop does no attribute or dict lookups.
+
+        Returns:
+            ``(plan, const_slots, slot_of)`` - plan rows are
+            ``(block, step_block, in_slots, out_entries)`` with
+            ``out_entries = [(slot, quantity), ...]``; ``const_slots``
+            lists ``(slot, quantity)`` inputs not driven by any block
+            (constant within a segment, refilled from the live value).
+        """
+        plan: list = []
+        const_slots: list = []
+        slot_of: dict = {}
+        for block in blocks:
+            in_slots = []
+            for q in block.inputs:
+                slot = slot_of.get(q)
+                if slot is None:
+                    # Not driven by an earlier block; explain() already
+                    # rejected later drivers, so this is a constant.
+                    slot = len(slot_of)
+                    slot_of[q] = slot
+                    const_slots.append((slot, q))
+                in_slots.append(slot)
+            out_entries = []
+            for q in block.outputs:
+                slot = slot_of.get(q)
+                if slot is None:
+                    slot = len(slot_of)
+                    slot_of[q] = slot
+                out_entries.append((slot, q))
+            plan.append((block, block.step_block, in_slots, out_entries))
+        return plan, const_slots, slot_of
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, sim, t_stop: float) -> None:
+        self.fallback_reason = self.explain(sim)
+        if self.fallback_reason is not None:
+            self._reference.run(sim, t_stop)
+            return
+
+        started = _time.perf_counter()
+        dt = sim.dt
+        plan, const_slots, slot_of = self._compile(sim.blocks)
+        nslots = len(slot_of)
+        slot_items = list(slot_of.items())
+        hooks = sim._step_hooks
+        queue = sim._queue
+        run_segment = self._run_segment
+        drain = sim._drain_events
+        inf = math.inf
+        sim._drain_events(sim.t)
+        limit = t_stop - 0.5 * dt
+        while sim.t < limit:
+            # The reference loop advances time by repeated addition; a
+            # cumulative sum reproduces that float-for-float, so events
+            # land on exactly the same analog step under both engines.
+            # The grid is built in bounded chunks (each seeded with the
+            # previous chunk's accumulated end time, so the addition
+            # chain is unbroken) to keep memory constant on long runs.
+            t_chunk = sim.t
+            cap = min(int(math.ceil((limit - t_chunk) / dt)) + 2,
+                      self.GRID_CHUNK)
+            grid = np.empty(cap + 1)
+            grid[0] = t_chunk
+            grid[1:] = dt
+            grid.cumsum(out=grid)
+            # grid[i] = time *before* step i+1; a step runs iff that
+            # time is below the limit (the reference loop condition).
+            total = int(grid[:-1].searchsorted(limit))
+            if total == 0:
+                break
+            g = grid[1:]  # g[i] = time after step i+1
+            steps_base = sim.steps
+            done = 0
+            while done < total:
+                t_event = queue[0][0] if queue else inf
+                if t_event == inf:
+                    n = total - done
+                else:
+                    # First boundary satisfying the drain condition.
+                    n = int(g[done:total].searchsorted(t_event - 1e-21)
+                            ) + 1
+                    if n > total - done:
+                        n = total - done
+                t0 = float(grid[done])
+                arrays = run_segment(plan, const_slots, nslots,
+                                     t0, dt, n)
+                done += n
+                # Events and hooks at the boundary observe the counter
+                # the way the reference loop exposes it: incremented
+                # only after the drain + hooks of the landing step.
+                sim.steps = steps_base + done - 1
+                t_new = g[done - 1].item()
+                due = bool(queue) and queue[0][0] <= t_new + 1e-21
+                if hooks:
+                    if due:
+                        snapshot = self._snapshot(sim, slot_of)
+                        drain(t_new)
+                        # A boundary event may have rewritten any
+                        # quantity - undriven inputs or even a
+                        # block-driven output; per-step semantics see
+                        # that at the last sample only (the reference
+                        # loop steps blocks before the drain, and the
+                        # driver recomputes next step).  Patch a copy:
+                        # a pass-through block may hold the same
+                        # ndarray as another slot, whose boundary
+                        # sample must keep its own value.
+                        for q, slot in slot_items:
+                            arr = arrays[slot]
+                            if arr[-1] != q.value:
+                                arr = arr.copy()
+                                arr[-1] = q.value
+                                arrays[slot] = arr
+                    else:
+                        snapshot = {}
+                        sim.t = t_new
+                    self._call_hooks(hooks, arrays, slot_of, snapshot,
+                                     g[done - n:done], n)
+                elif due:
+                    drain(t_new)
+                else:
+                    sim.t = t_new
+                sim.steps = steps_base + done
+        sim.cpu_time += _time.perf_counter() - started
+
+    @staticmethod
+    def _run_segment(plan, const_slots, nslots: int,
+                     t0: float, dt: float, n: int) -> list:
+        """Advance every block by *n* steps; returns the slot-indexed
+        value arrays and commits the segment-final quantity values."""
+        arrays: list = [None] * nslots
+        for slot, q in const_slots:
+            # Not driven in this segment: constant by the kernel's
+            # event semantics.
+            arrays[slot] = np.full(n, q.value)
+        shape = (n,)
+        ndarray = np.ndarray
+        float64 = _FLOAT64
+        for block, step_block, in_slots, out_entries in plan:
+            outs = step_block(t0, dt, n, [arrays[s] for s in in_slots])
+            for (slot, q), arr in zip(out_entries, outs):
+                if (type(arr) is not ndarray or arr.shape != shape
+                        or arr.dtype != float64):
+                    arr = np.asarray(arr, dtype=float)
+                    if arr.shape != shape:
+                        if arr.ndim == 0:  # scalar callback result
+                            arr = np.full(n, float(arr))
+                        else:
+                            raise ValueError(
+                                f"block {block.name!r} returned shape "
+                                f"{arr.shape} for output {q.name!r}; "
+                                f"expected ({n},)")
+                arrays[slot] = arr
+                # Plain float, matching the reference path's cast.
+                q.value = float(arr[-1])
+        return arrays
+
+    @staticmethod
+    def _snapshot(sim, slot_of) -> dict:
+        """Pre-drain values of everything without a segment array, so
+        hooks can reconstruct what a per-step recorder would have seen
+        (events at the segment boundary only affect the last sample)."""
+        snapshot: dict = {}
+        for q in sim.quantities.values():
+            if q not in slot_of:
+                snapshot[id(q)] = q.value
+        for s in sim.signals.values():
+            snapshot[id(s)] = s.value
+        return snapshot
+
+    @staticmethod
+    def _call_hooks(hooks, arrays, slot_of, snapshot, t: np.ndarray,
+                    n: int) -> None:
+        def resolve(probe) -> np.ndarray:
+            slot = slot_of.get(probe)
+            if slot is not None:
+                return arrays[slot]
+            # Constant over the segment except for a boundary event.
+            arr = np.full(n, float(snapshot.get(id(probe), probe.value)))
+            arr[-1] = float(probe.value)
+            return arr
+
+        for hook in hooks:
+            hook.hook_block(t, resolve)

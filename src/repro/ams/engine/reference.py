@@ -1,0 +1,37 @@
+"""The oracle engine: the original per-step lock-step loop."""
+
+from __future__ import annotations
+
+import time as _time
+
+from repro.ams.engine.base import ExecutionEngine
+
+
+class ReferenceEngine(ExecutionEngine):
+    """Fixed-step lock-step execution, one ``block.step`` per block per
+    analog step.
+
+    This is the seed kernel's main loop, kept verbatim: analog time
+    advances in steps of ``dt``; after each step every digital event with
+    a timestamp up to the new time executes (including delta-cycle
+    cascades), then the step hooks run.  All other engines are validated
+    against this one.
+    """
+
+    name = "reference"
+
+    def run(self, sim, t_stop: float) -> None:
+        started = _time.perf_counter()
+        dt = sim.dt
+        blocks = sim.blocks
+        hooks = sim._step_hooks
+        sim._drain_events(sim.t)
+        while sim.t < t_stop - 0.5 * dt:
+            t_new = sim.t + dt
+            for block in blocks:
+                block.step(t_new, dt)
+            sim._drain_events(t_new)
+            for hook in hooks:
+                hook(t_new)
+            sim.steps += 1
+        sim.cpu_time += _time.perf_counter() - started

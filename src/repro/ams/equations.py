@@ -25,6 +25,9 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+from scipy.signal import lfilter as _lfilter
+
 
 def saturate(value: float, low: float, high: float) -> float:
     """Clamp *value* into ``[low, high]``."""
@@ -62,6 +65,20 @@ class OnePoleState:
         self._x_prev = x
         return y_new
 
+    def update_block(self, x: np.ndarray, dt: float) -> np.ndarray:
+        """Advance *len(x)* steps at once (same recurrence, evaluated as
+        a first-order IIR filter seeded with the current state)."""
+        x = np.asarray(x, dtype=float)
+        a = self.tau / dt
+        denom = a + 0.5
+        c1 = (a - 0.5) / denom          # y[k] = c1*y[k-1]
+        b0 = 0.5 * self.gain / denom    # + b0*(x[k] + x[k-1])
+        zi = np.array([b0 * self._x_prev + c1 * self.y])
+        y, _zf = _lfilter([b0, b0], [1.0, -c1], x, zi=zi)
+        self.y = float(y[-1])
+        self._x_prev = float(x[-1])
+        return y
+
     def reset(self, value: float = 0.0) -> None:
         self.y = value
         self._x_prev = value / self.gain if self.gain else 0.0
@@ -87,6 +104,29 @@ class GatedIntegratorState:
         self.vo += 0.5 * self.k * dt * (vin + self._vin_prev)
         self._vin_prev = vin
         return self.vo
+
+    def integrate_block(self, vin: np.ndarray, dt: float) -> np.ndarray:
+        """Integrate *len(vin)* consecutive samples at once.
+
+        Reproduces the exact floating-point addition sequence of the
+        scalar :meth:`integrate` loop (cumulative sum seeded with the
+        running output), so compiled and lock-step runs agree bit for
+        bit.
+        """
+        vin = np.asarray(vin, dtype=float)
+        n = len(vin)
+        prev = np.empty(n)
+        prev[0] = self._vin_prev
+        prev[1:] = vin[:-1]
+        np.add(prev, vin, out=prev)
+        np.multiply(prev, 0.5 * self.k * dt, out=prev)
+        out = np.empty(n + 1)
+        out[0] = self.vo
+        out[1:] = prev
+        out.cumsum(out=out)
+        self.vo = float(out[-1])
+        self._vin_prev = float(vin[-1])
+        return out[1:]
 
     def hold(self) -> float:
         self._vin_prev = 0.0
@@ -119,6 +159,14 @@ class TwoPoleGatedIntegratorState:
         self.lp2 = OnePoleState(fp2_hz, gain=self.gain)
         self.input_nonlinearity = input_nonlinearity
 
+    def vectorizable(self) -> bool:
+        """Whether :meth:`integrate_block` is safe: the nonlinearity, if
+        any, must declare array support via a truthy ``vectorized``
+        attribute (scalar-only callables keep the block lock-step)."""
+        return (self.input_nonlinearity is None
+                or bool(getattr(self.input_nonlinearity, "vectorized",
+                                False)))
+
     @property
     def vo(self) -> float:
         return self.lp2.y
@@ -128,6 +176,16 @@ class TwoPoleGatedIntegratorState:
             vin = self.input_nonlinearity(vin)
         vq = self.lp1.update(vin, dt)
         return self.lp2.update(vq, dt)
+
+    def integrate_block(self, vin: np.ndarray, dt: float) -> np.ndarray:
+        """Integrate *len(vin)* consecutive samples at once (the two
+        one-pole recurrences run as IIR filters seeded with the current
+        states; the nonlinearity, if any, must be vectorized)."""
+        vin = np.asarray(vin, dtype=float)
+        if self.input_nonlinearity is not None:
+            vin = self.input_nonlinearity(vin)
+        vq = self.lp1.update_block(vin, dt)
+        return self.lp2.update_block(vq, dt)
 
     def hold(self) -> float:
         return self.lp2.y

@@ -4,10 +4,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import time as _time
 from typing import Any, Callable, Iterable
 
 from repro.ams.block import AnalogBlock
+from repro.ams.engine import ExecutionEngine, get_engine
 from repro.ams.process import Process
 from repro.ams.quantity import Quantity
 from repro.ams.signal import Signal
@@ -16,23 +16,29 @@ from repro.ams.signal import Signal
 class Simulator:
     """Fixed-step analog + event-driven digital co-simulation.
 
-    The main loop advances analog time in steps of *dt* (the paper uses
-    0.05 ns); after each analog step every digital event with a timestamp
-    up to the new time executes, including the delta-cycle cascades it
-    triggers.  Digital processes therefore observe analog quantities
-    sampled on the analog grid, and analog blocks see digital control
-    signals with at most one step of latency - the standard lock-step
-    mixed-signal scheme.
+    The observable semantics are those of the lock-step scheme: analog
+    time advances in steps of *dt* (the paper uses 0.05 ns); after each
+    analog step every digital event with a timestamp up to the new time
+    executes, including the delta-cycle cascades it triggers.  Digital
+    processes therefore observe analog quantities sampled on the analog
+    grid, and analog blocks see digital control signals with at most one
+    step of latency.
+
+    *How* those semantics are executed is delegated to a pluggable
+    :class:`~repro.ams.engine.base.ExecutionEngine`: ``"reference"``
+    steps block-by-block (the oracle), ``"compiled"`` vectorizes whole
+    inter-event segments with NumPy (see :mod:`repro.ams.engine`).
 
     Typical use::
 
-        sim = Simulator(dt=50e-12)
+        sim = Simulator(dt=50e-12)               # or engine="compiled"
         vin = sim.quantity("vin")
         ...add blocks / processes...
         sim.run(30e-6)
     """
 
-    def __init__(self, dt: float):
+    def __init__(self, dt: float,
+                 engine: str | ExecutionEngine = "reference"):
         if dt <= 0:
             raise ValueError("dt must be positive")
         self.dt = float(dt)
@@ -44,12 +50,27 @@ class Simulator:
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._step_hooks: list[Callable[[float], None]] = []
+        self._reset_hooks: list[Callable[[], None]] = []
+        self._engine = get_engine(engine)
+        # Event registrations made while building the testbench (before
+        # the first run) are remembered so reset() can re-arm them.
+        self._building = True
+        self._armings: list[Callable[[], None]] = []
         self.cpu_time = 0.0
         self.steps = 0
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The execution engine (assignable; accepts specs too)."""
+        return self._engine
+
+    @engine.setter
+    def engine(self, spec: str | ExecutionEngine) -> None:
+        self._engine = get_engine(spec)
+
     def quantity(self, name: str, init: float = 0.0) -> Quantity:
         """Create (or fetch) a named analog quantity."""
         if name in self.quantities:
@@ -82,17 +103,40 @@ class Simulator:
         return process
 
     def add_step_hook(self, hook: Callable[[float], None]) -> None:
-        """Run *hook(t)* after every analog step (recorders use this)."""
+        """Run *hook(t)* after every analog step (recorders use this).
+
+        Hooks that additionally implement the vectorized
+        ``hook_block(t_array, resolve)`` protocol (as
+        :class:`~repro.ams.waveform.Recorder` does) stay compatible with
+        the compiled engine; plain callables force it to fall back to
+        lock-step execution.
+        """
         self._step_hooks.append(hook)
+
+    def on_reset(self, fn: Callable[[], None]) -> None:
+        """Run *fn* during :meth:`reset` - testbench accumulators
+        (slot samplers, harvesters) register their clearing here so the
+        reset contract covers them too."""
+        self._reset_hooks.append(fn)
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
+    def _push_event(self, delay: float, fn: Callable[[], None]) -> None:
+        """Queue *fn* at ``t + delay``; while the testbench is still
+        being built, also remember the push so reset() can re-arm it."""
+        if self._building:
+            self._armings.append(
+                lambda: heapq.heappush(
+                    self._queue, (self.t + delay, next(self._seq), fn)))
+        heapq.heappush(self._queue,
+                       (self.t + delay, next(self._seq), fn))
+
     def schedule(self, delay: float, fn: Callable[[], None]) -> None:
         """Run *fn* at ``t + delay`` (during event processing)."""
         if delay < 0:
             raise ValueError("cannot schedule in the past")
-        heapq.heappush(self._queue, (self.t + delay, next(self._seq), fn))
+        self._push_event(delay, fn)
 
     def every(self, period: float, fn: Callable[["Simulator"], None],
               start: float = 0.0) -> None:
@@ -105,14 +149,11 @@ class Simulator:
             heapq.heappush(self._queue,
                            (self.t + period, next(self._seq), tick))
 
-        heapq.heappush(self._queue, (self.t + start, next(self._seq), tick))
+        self._push_event(start, tick)
 
     def _schedule_signal(self, sig: Signal, value: Any,
                          after: float) -> None:
-        heapq.heappush(
-            self._queue,
-            (self.t + after, next(self._seq),
-             lambda: sig._apply(value, self.t)))
+        self._push_event(after, lambda: sig._apply(value, self.t))
 
     def _drain_events(self, up_to: float) -> None:
         queue = self._queue
@@ -127,35 +168,42 @@ class Simulator:
     # ------------------------------------------------------------------
     def initialize(self) -> None:
         """Process time-zero events (signal initializations)."""
+        self._building = False
         self._drain_events(0.0)
 
     def run(self, t_stop: float) -> None:
-        """Advance the simulation until *t_stop*."""
-        started = _time.perf_counter()
-        dt = self.dt
-        blocks = self.blocks
-        hooks = self._step_hooks
-        self._drain_events(self.t)
-        while self.t < t_stop - 0.5 * dt:
-            t_new = self.t + dt
-            for block in blocks:
-                block.step(t_new, dt)
-            self._drain_events(t_new)
-            for hook in hooks:
-                hook(t_new)
-            self.steps += 1
-        self.cpu_time += _time.perf_counter() - started
+        """Advance the simulation until *t_stop* (via the engine)."""
+        self._building = False
+        self._engine.run(self, t_stop)
 
     def run_steps(self, n: int) -> None:
         """Advance exactly *n* analog steps."""
         self.run(self.t + (n + 0.25) * self.dt)
 
     def reset(self) -> None:
-        """Reset time and block states (quantities/signals keep their
-        last values; re-initialize them explicitly if needed)."""
+        """Restore the testbench to its pre-run state.
+
+        Time, step/CPU counters and the event queue are cleared; blocks
+        get :meth:`~repro.ams.block.AnalogBlock.reset`; quantities and
+        signals return to their initial values (silently - watchers do
+        not fire); accumulators registered via :meth:`on_reset`
+        (recorders, harvesters) are cleared; events registered while
+        the testbench was built (``schedule`` / ``every`` /
+        ``Signal.assign`` before the first run) are re-armed.  Back-to-back runs of one testbench are
+        therefore reproducible.  Limitation: blocks whose ``reset`` is a
+        no-op (e.g. Spice co-simulation state) keep their state.
+        """
         self.t = 0.0
         self.steps = 0
         self.cpu_time = 0.0
         self._queue.clear()
         for block in self.blocks:
             block.reset()
+        for quantity in self.quantities.values():
+            quantity.reset()
+        for sig in self.signals.values():
+            sig.reset()
+        for fn in self._reset_hooks:
+            fn()
+        for push in self._armings:
+            push()

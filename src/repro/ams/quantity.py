@@ -11,12 +11,17 @@ class Quantity:
     checks single-driver ownership at registration time.
     """
 
-    __slots__ = ("name", "value", "_driver")
+    __slots__ = ("name", "value", "init", "_driver")
 
     def __init__(self, name: str, init: float = 0.0):
         self.name = name
+        self.init = float(init)
         self.value = float(init)
         self._driver = None
+
+    def reset(self) -> None:
+        """Restore the initial value (kernel reset contract)."""
+        self.value = self.init
 
     def _claim(self, driver) -> None:
         if self._driver is not None and self._driver is not driver:

@@ -17,10 +17,17 @@ class Signal:
 
     def __init__(self, name: str, init: Any = 0):
         self.name = name
+        self._init = init
         self._value = init
         self._last_change: float = 0.0
         self._watchers: list[Callable[["Signal"], None]] = []
         self._sim = None  # set on registration
+
+    def reset(self) -> None:
+        """Restore the initial value silently (watchers do not fire) -
+        the kernel reset contract."""
+        self._value = self._init
+        self._last_change = 0.0
 
     # -- value access ---------------------------------------------------
     @property

@@ -79,15 +79,40 @@ class Recorder:
         self._count = 0
         self._times: list[float] = []
         self._data: list[list[float]] = [[] for _ in self.probes]
-        sim.add_step_hook(self._hook)
+        sim.add_step_hook(self)
+        on_reset = getattr(sim, "on_reset", None)
+        if on_reset is not None:
+            on_reset(self.clear)
 
-    def _hook(self, t: float) -> None:
+    def __call__(self, t: float) -> None:
+        """Per-step hook (reference engine)."""
         self._count += 1
         if self._count % self.decimate:
             return
         self._times.append(t)
         for slot, probe in zip(self._data, self.probes):
             slot.append(float(probe.value))
+
+    def hook_block(self, t: np.ndarray, resolve) -> None:
+        """Segment hook (compiled engine): record a whole inter-event
+        window at once.  *resolve(probe)* returns the probe's ``(n,)``
+        value array over the window."""
+        n = len(t)
+        base = self._count
+        self._count = base + n
+        if self.decimate == 1:
+            keep = slice(None)
+            self._times.extend(t.tolist())
+        else:
+            idx = np.nonzero((base + 1 + np.arange(n))
+                             % self.decimate == 0)[0]
+            if len(idx) == 0:
+                return
+            keep = idx
+            self._times.extend(t[idx].tolist())
+        for slot, probe in zip(self._data, self.probes):
+            values = np.asarray(resolve(probe), dtype=float)
+            slot.extend(values[keep].tolist())
 
     def trace(self, probe_or_name) -> Trace:
         """Trace for a probe object or its name."""

@@ -11,7 +11,11 @@
   an AC response and static-nonlinearity extraction from a DC sweep of
   the transistor circuit,
 * :mod:`repro.core.metrics` - CPU-time accounting and system-metric
-  (BER / ranging) comparison reports.
+  (BER / ranging) comparison reports,
+* :mod:`repro.core.scenario` - declarative :class:`Scenario` /
+  :class:`SweepRunner` descriptions of multi-run workloads (corner
+  sweeps, BER grids, model comparisons) with per-run seeding and
+  multiprocessing fan-out.
 """
 
 from repro.core.phases import Phase
@@ -31,6 +35,12 @@ from repro.core.metrics import (
     compare_ber,
     compare_ranging,
 )
+from repro.core.scenario import (
+    Scenario,
+    SweepReport,
+    SweepResult,
+    SweepRunner,
+)
 
 __all__ = [
     "BerComparison",
@@ -40,6 +50,10 @@ __all__ = [
     "RangingComparison",
     "RefinementFlow",
     "RunOutcome",
+    "Scenario",
+    "SweepReport",
+    "SweepResult",
+    "SweepRunner",
     "TwoPoleFit",
     "build_surrogate",
     "characterize_integrator",

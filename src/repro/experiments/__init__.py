@@ -9,7 +9,11 @@ for paper-scale runs).
 """
 
 from repro.experiments.fig4_ac import Fig4Result, run_fig4
-from repro.experiments.fig5_transient import Fig5Result, run_fig5
+from repro.experiments.fig5_transient import (
+    Fig5Result,
+    run_fig5,
+    run_fig5_drive_sweep,
+)
 from repro.experiments.fig6_ber import Fig6Result, run_fig6
 from repro.experiments.table1_cpu import Table1Result, run_table1
 from repro.experiments.table2_twr import Table2Result, run_table2
@@ -33,6 +37,7 @@ __all__ = [
     "run_agc_ablation",
     "run_fig4",
     "run_fig5",
+    "run_fig5_drive_sweep",
     "run_fig6",
     "run_noise_shaping_ablation",
     "run_phase1_overlap",

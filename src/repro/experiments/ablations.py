@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.scenario import Scenario, SweepRunner
 from repro.experiments.table2_twr import (
     TWR_DETECTION_FACTOR,
     TWR_NOISE_SIGMA,
@@ -64,36 +65,47 @@ class AgcAblationResult:
         ])
 
 
-def run_agc_ablation(distance: float = 9.9, iterations: int = 10,
-                     seed: int = 42) -> AgcAblationResult:
-    """TWR with the circuit integrator under both AGC policies."""
+def _run_twr_arm(two_stage: bool, distance: float, iterations: int,
+                 rng: np.random.Generator) -> RangingResult:
+    """One AGC-policy arm of the ablation (top-level so scenario sweeps
+    can fan it out over processes)."""
     config = UwbConfig(**TWR_CONFIG)
     channel = Cm1Channel(config.fs)
     integrator = CircuitSurrogateIntegrator()
 
-    def receiver_factory(two_stage: bool):
-        def make() -> EnergyDetectionReceiver:
-            vga = Vga(step_db=config.agc_steps_db,
-                      max_db=config.agc_range_db)
-            adc = Adc(bits=config.adc_bits, vref=config.adc_vref)
-            agc = None
-            if two_stage:
-                agc = TwoStageAgc(vga, adc, integrator.ideal_k,
-                                  amp_target=0.06)
-            return EnergyDetectionReceiver(
-                config, integrator, vga=vga, adc=adc, agc=agc,
-                toa_threshold_fraction=TWR_TOA_FRACTION,
-                detection_factor=TWR_DETECTION_FACTOR)
+    def make() -> EnergyDetectionReceiver:
+        vga = Vga(step_db=config.agc_steps_db,
+                  max_db=config.agc_range_db)
+        adc = Adc(bits=config.adc_bits, vref=config.adc_vref)
+        agc = None
+        if two_stage:
+            agc = TwoStageAgc(vga, adc, integrator.ideal_k,
+                              amp_target=0.06)
+        return EnergyDetectionReceiver(
+            config, integrator, vga=vga, adc=adc, agc=agc,
+            toa_threshold_fraction=TWR_TOA_FRACTION,
+            detection_factor=TWR_DETECTION_FACTOR)
 
-        return make
+    twr = TwoWayRanging(config, make, distance=distance,
+                        tx_amplitude=1.0, noise_sigma=TWR_NOISE_SIGMA,
+                        channel=channel)
+    return twr.run(iterations, rng)
 
-    results = []
-    for two_stage in (False, True):
-        twr = TwoWayRanging(config, receiver_factory(two_stage),
-                            distance=distance, tx_amplitude=1.0,
-                            noise_sigma=TWR_NOISE_SIGMA, channel=channel)
-        results.append(twr.run(iterations, np.random.default_rng(seed)))
-    return AgcAblationResult(single_stage=results[0], two_stage=results[1])
+
+def run_agc_ablation(distance: float = 9.9, iterations: int = 10,
+                     seed: int = 42,
+                     processes: int | None = None) -> AgcAblationResult:
+    """TWR with the circuit integrator under both AGC policies (both
+    arms share the seed, so they see the same noise/channel draws)."""
+    runner = SweepRunner(processes=processes)
+    for label, two_stage in (("single", False), ("two_stage", True)):
+        runner.add(Scenario(
+            name=label, fn=_run_twr_arm, seed=seed, rng_param="rng",
+            params=dict(two_stage=two_stage, distance=distance,
+                        iterations=iterations)))
+    arms = runner.run().by_name()
+    return AgcAblationResult(single_stage=arms["single"],
+                             two_stage=arms["two_stage"])
 
 
 @dataclass
@@ -118,9 +130,11 @@ class NoiseShapingResult:
 def run_noise_shaping_ablation(ebn0_db: float = 12.0,
                                fp2_grid=(1e9, 3e9, 6e9, 20e9),
                                seed: int = 7,
-                               quick: bool = True) -> NoiseShapingResult:
+                               quick: bool = True,
+                               processes: int | None = None
+                               ) -> NoiseShapingResult:
     """BER versus the model's second pole, paired against the ideal
-    integrator (same noise)."""
+    integrator (every arm shares the seed, hence the noise)."""
     config = UwbConfig()
     bpf = BandPassFilter((2.0e9, 9.0e9), config.fs)
     if quick:
@@ -129,15 +143,23 @@ def run_noise_shaping_ablation(ebn0_db: float = 12.0,
         budget = dict(target_errors=300, max_bits=600_000,
                       min_bits=40_000)
 
-    ideal = ber_curve(config, IdealIntegrator(), [ebn0_db],
-                      np.random.default_rng(seed), bpf=bpf, **budget)
-    shaped = []
+    runner = SweepRunner(processes=processes)
+    runner.add(Scenario(
+        name="ideal", fn=ber_curve, seed=seed, rng_param="rng",
+        params=dict(config=config, integrator=IdealIntegrator(),
+                    ebn0_grid=[ebn0_db], bpf=bpf, **budget)))
     for fp2 in fp2_grid:
-        model = TwoPoleIntegrator(fp2_hz=float(fp2))
-        res = ber_curve(config, model, [ebn0_db],
-                        np.random.default_rng(seed), bpf=bpf, **budget)
-        shaped.append(res.ber[0])
+        runner.add(Scenario(
+            name=f"fp2={float(fp2):g}", fn=ber_curve, seed=seed,
+            rng_param="rng",
+            params=dict(config=config,
+                        integrator=TwoPoleIntegrator(fp2_hz=float(fp2)),
+                        ebn0_grid=[ebn0_db], bpf=bpf, **budget)))
+    # Consume positionally: results come back in submission order, so
+    # fp2 values that format to the same label cannot collapse.
+    curves = runner.run().values()
+    shaped = [float(curve.ber[0]) for curve in curves[1:]]
     return NoiseShapingResult(fp2_grid=np.asarray(fp2_grid, dtype=float),
-                              ber_ideal=float(ideal.ber[0]),
+                              ber_ideal=float(curves[0].ber[0]),
                               ber_shaped=np.asarray(shaped),
                               ebn0_db=float(ebn0_db))

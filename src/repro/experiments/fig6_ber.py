@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.metrics import BerComparison, compare_ber
+from repro.core.scenario import Scenario, SweepRunner
 from repro.uwb import UwbConfig, ber_curve
 from repro.uwb.bpf import BandPassFilter
 from repro.uwb.integrator import (
@@ -62,7 +63,9 @@ def run_fig6(config: UwbConfig | None = None,
              ebn0_grid=(0, 2, 4, 6, 8, 10, 12, 14),
              seed: int = 7,
              quick: bool = True,
-             circuit: WindowIntegrator | None = None) -> Fig6Result:
+             circuit: WindowIntegrator | None = None,
+             processes: int | None = None,
+             workers: int | None = None) -> Fig6Result:
     """Regenerate figure 6.
 
     Args:
@@ -71,6 +74,11 @@ def run_fig6(config: UwbConfig | None = None,
         circuit: override the circuit model (e.g. a
             :func:`repro.core.characterize.build_surrogate` extraction);
             default is the analytic surrogate.
+        processes: fan the two curves out over processes.
+        workers: fan the Eb/N0 points of each curve out over processes
+            (see :func:`repro.uwb.fastsim.ber_curve`; both curves use
+            the same per-point seeding, so the paired comparison
+            survives parallel execution).
     """
     config = config or UwbConfig()
     bpf = BandPassFilter(WIDE_FRONT_END, config.fs)
@@ -80,13 +88,18 @@ def run_fig6(config: UwbConfig | None = None,
         budget = dict(target_errors=200, max_bits=400_000, min_bits=20_000)
     circuit = circuit or CircuitSurrogateIntegrator()
 
-    ideal_curve = ber_curve(
-        config, IdealIntegrator(), ebn0_grid,
-        np.random.default_rng(seed), bpf=bpf, squarer_drive=BER_DRIVE,
-        label="ideal", **budget)
-    circuit_curve = ber_curve(
-        config, circuit, ebn0_grid,
-        np.random.default_rng(seed), bpf=bpf, squarer_drive=BER_DRIVE,
-        label="circuit", **budget)
-    return Fig6Result(comparison=compare_ber(ideal_curve, circuit_curve),
+    # Paired noise: both scenarios draw from a generator seeded
+    # identically, so the curves differ only by the integrator model.
+    runner = SweepRunner(processes=processes)
+    for label, integrator in (("ideal", IdealIntegrator()),
+                              ("circuit", circuit)):
+        runner.add(Scenario(
+            name=label, fn=ber_curve, seed=seed, rng_param="rng",
+            params=dict(config=config, integrator=integrator,
+                        ebn0_grid=ebn0_grid, bpf=bpf,
+                        squarer_drive=BER_DRIVE, label=label,
+                        workers=workers, **budget)))
+    curves = runner.run().by_name()
+    return Fig6Result(comparison=compare_ber(curves["ideal"],
+                                             curves["circuit"]),
                       config=config, drive=BER_DRIVE)

@@ -12,19 +12,32 @@ under test is the *ordering* and the existence of a large
 circuit-in-the-loop penalty; absolute ratios differ because our
 behavioral blocks are far cheaper relative to a matrix solve than
 VHDL-AMS equation systems executed by ADMS (see EXPERIMENTS.md).
+
+The behavioral rows run on the kernel's compiled (segment-vectorized)
+execution engine by default; the ELDO row always runs lock-step because
+the Spice block opts out of vectorization - exactly the cost structure
+the paper reports, with the gap widened by the compiled engine.  When
+``measure_reference`` is on (the default), the IDEAL row is re-run on
+the lock-step reference engine so the report also tracks the
+engine-vs-engine speedup and checks bit-identical demodulation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.metrics import CpuTimeReport
+from repro.core.scenario import Scenario, SweepRunner
 from repro.uwb import UwbConfig
 from repro.uwb.bpf import BandPassFilter
 from repro.uwb.modulation import ppm_waveform, random_bits
 from repro.uwb.system import run_ams_receiver
+
+#: (report label, integrator spec) rows of the table.
+MODEL_ROWS = (("IDEAL", "ideal"), ("VHDL-AMS", "two_pole"),
+              ("ELDO", "circuit"))
 
 
 @dataclass
@@ -34,6 +47,14 @@ class Table1Result:
     report: CpuTimeReport
     bits: dict[str, np.ndarray]
     tx_bits: np.ndarray
+    engine: str = "compiled"
+    #: lock-step timings of re-measured rows (engine speedup tracking).
+    reference_times: dict[str, float] = field(default_factory=dict)
+    #: best compiled timings over the speedup repeats (robust ratio
+    #: numerator/denominator; the table entry itself is a single run).
+    compiled_times: dict[str, float] = field(default_factory=dict)
+    #: demodulated bits of the lock-step re-runs.
+    reference_bits: dict[str, np.ndarray] = field(default_factory=dict)
 
     PAPER = {"ELDO": 59 * 60 + 33, "VHDL-AMS": 20 * 60 + 37,
              "IDEAL": 9 * 60 + 11}
@@ -52,33 +73,49 @@ class Table1Result:
         e = self.report.entries
         return e["VHDL-AMS"] / e["IDEAL"]
 
+    def engine_speedup(self, label: str = "IDEAL") -> float | None:
+        """Compiled-over-reference wall-clock speedup for *label*
+        (``None`` when the reference row was not measured).  Uses the
+        best-of-N timings of both engines so a single scheduler stall
+        cannot flip the ratio."""
+        ref = self.reference_times.get(label)
+        if ref is None:
+            return None
+        compiled = self.compiled_times.get(label,
+                                           self.report.entries[label])
+        return ref / compiled
+
+    def engines_agree(self) -> bool:
+        """Both engines demodulated identical bits on every re-measured
+        row (vacuously true when nothing was re-measured)."""
+        return all(np.array_equal(self.bits[label], ref_bits)
+                   for label, ref_bits in self.reference_bits.items())
+
     def format_report(self) -> str:
         paper_ratio = {k: v / self.PAPER["IDEAL"]
                        for k, v in self.PAPER.items()}
-        return "\n".join([
-            "Table 1 - CPU time comparison",
+        lines = [
+            "Table 1 - CPU time comparison "
+            f"(engine: {self.engine})",
             self.report.format_table(),
             "  paper ratios: "
             + ", ".join(f"{k} {v:.1f}x" for k, v in paper_ratio.items()),
             f"  circuit-in-the-loop dominates: {self.cosim_dominates()}",
             f"  VHDL-AMS / IDEAL ratio: {self.model_vs_ideal_ratio():.2f}x"
             " (paper: 2.2x)",
-        ])
+        ]
+        speedup = self.engine_speedup()
+        if speedup is not None:
+            lines.append(
+                f"  compiled-vs-reference speedup (IDEAL): "
+                f"{speedup:.1f}x, identical bits: {self.engines_agree()}")
+        return "\n".join(lines)
 
 
-def run_table1(config: UwbConfig | None = None,
-               simulated_time: float = 1e-6,
-               seed: int = 11,
-               cosim_substeps: int = 1) -> Table1Result:
-    """Regenerate table 1.
-
-    Args:
-        simulated_time: simulated span (paper: 30 us; default 1 us keeps
-            the benchmark minutes-scale - the ratios are span-invariant
-            beyond a few symbols).
-    """
-    config = config or UwbConfig()
-    n_symbols = max(2, int(round(simulated_time / config.symbol_period)))
+def make_table1_waveform(config: UwbConfig, n_symbols: int,
+                         seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """The shared Table-1 stimulus: a lightly noisy filtered 2-PPM
+    burst, normalized to a fixed squarer drive."""
     rng = np.random.default_rng(seed)
     tx_bits = random_bits(n_symbols, rng)
     wave = ppm_waveform(tx_bits, config, amplitude=1.0)
@@ -87,15 +124,74 @@ def run_table1(config: UwbConfig | None = None,
                                    config.pulse_order)
     sig = bpf(wave)
     sig = 0.25 * sig / np.max(np.abs(sig))
+    return sig, tx_bits
 
+
+def run_table1(config: UwbConfig | None = None,
+               simulated_time: float = 1e-6,
+               seed: int = 11,
+               cosim_substeps: int = 1,
+               engine: str = "compiled",
+               measure_reference: bool = True,
+               speedup_repeats: int = 3,
+               processes: int | None = None) -> Table1Result:
+    """Regenerate table 1.
+
+    Args:
+        simulated_time: simulated span (paper: 30 us; default 1 us keeps
+            the benchmark minutes-scale - the ratios are span-invariant
+            beyond a few symbols).
+        engine: kernel execution engine for the behavioral rows.
+        measure_reference: additionally time the IDEAL row on the
+            lock-step reference engine (engine speedup + equivalence).
+        speedup_repeats: repeats per engine for the speedup ratio (the
+            best of each side is used, so one scheduler stall in a
+            milliseconds-scale run cannot skew it).
+        processes: fan the rows out over processes.  Defaults to serial
+            execution, which is what a CPU-time comparison wants -
+            parallel rows contend for cores and skew the table.
+    """
+    config = config or UwbConfig()
+    n_symbols = max(2, int(round(simulated_time / config.symbol_period)))
+    sig, tx_bits = make_table1_waveform(config, n_symbols, seed)
     span = n_symbols * config.symbol_period
+
+    runner = SweepRunner(processes=processes)
+    for label, kind in MODEL_ROWS:
+        runner.add(Scenario(
+            name=label, fn=run_ams_receiver,
+            params=dict(config=config, integrator=kind, waveform=sig,
+                        cosim_substeps=cosim_substeps, t_stop=span,
+                        engine=engine)))
+    if measure_reference and engine != "reference":
+        for i in range(max(1, speedup_repeats)):
+            for eng in ("reference", engine):
+                runner.add(Scenario(
+                    name=f"IDEAL/{eng}#{i}", fn=run_ams_receiver,
+                    params=dict(config=config, integrator="ideal",
+                                waveform=sig, t_stop=span, engine=eng)))
+
+    outcomes = runner.run().by_name()
     report = CpuTimeReport(simulated_time=span)
     bits: dict[str, np.ndarray] = {}
-    for label, kind in (("IDEAL", "ideal"), ("VHDL-AMS", "two_pole"),
-                        ("ELDO", "circuit")):
-        result = run_ams_receiver(config, kind, sig,
-                                  cosim_substeps=cosim_substeps,
-                                  t_stop=span)
+    reference_times: dict[str, float] = {}
+    compiled_times: dict[str, float] = {}
+    reference_bits: dict[str, np.ndarray] = {}
+    for label, _kind in MODEL_ROWS:
+        result = outcomes[label]
         report.add(label, result.cpu_time)
         bits[label] = result.bits
-    return Table1Result(report=report, bits=bits, tx_bits=tx_bits)
+    if measure_reference and engine != "reference":
+        ref_runs = [v for k, v in outcomes.items()
+                    if k.startswith("IDEAL/reference#")]
+        eng_runs = [v for k, v in outcomes.items()
+                    if k.startswith(f"IDEAL/{engine}#")]
+        reference_times["IDEAL"] = min(r.cpu_time for r in ref_runs)
+        reference_bits["IDEAL"] = ref_runs[0].bits
+        compiled_times["IDEAL"] = min(
+            [r.cpu_time for r in eng_runs]
+            + [report.entries["IDEAL"]])
+    return Table1Result(report=report, bits=bits, tx_bits=tx_bits,
+                        engine=engine, reference_times=reference_times,
+                        compiled_times=compiled_times,
+                        reference_bits=reference_bits)

@@ -69,12 +69,19 @@ class _LinkCache:
             config.fs, config.pulse_tau, config.pulse_order)
         # Reference energy per bit and peak amplitude measured on a
         # noiseless filtered pilot (one pulse per bit -> Eb = pulse
-        # energy after channel+filter).
+        # energy after channel+filter).  The pilot goes through exactly
+        # the data-path processing of simulate_ber_point: the channel
+        # output is trimmed by the propagation delay and truncated to
+        # whole symbols, so delayed-channel energy landing outside the
+        # symbol window is not counted toward Eb.
         pilot_bits = np.zeros(8, dtype=np.int8)
+        n_samples = len(pilot_bits) * config.samples_per_symbol
         pilot = ppm_waveform(pilot_bits, config)
         if channel is not None:
-            pilot = channel.apply(pilot)
-        filtered = self.bpf(pilot)
+            pilot = channel.apply(pilot)[
+                channel.delay_samples:
+                channel.delay_samples + n_samples]
+        filtered = self.bpf(pilot)[:n_samples]
         self.eb = float(np.sum(filtered ** 2) * config.dt / len(pilot_bits))
         self.peak = float(np.max(np.abs(filtered)))
         if self.eb <= 0:
@@ -151,20 +158,48 @@ def ber_curve(config: UwbConfig, integrator: WindowIntegrator,
               target_errors: int = 100,
               max_bits: int = 200_000,
               min_bits: int = 2_000,
-              label: str | None = None) -> BerResult:
-    """BER versus Eb/N0 for one integrator model (figure-6 workload)."""
+              label: str | None = None,
+              workers: int | None = None) -> BerResult:
+    """BER versus Eb/N0 for one integrator model (figure-6 workload).
+
+    Args:
+        workers: fan the Eb/N0 points out over this many processes.
+            Serial execution (``None``/``0``/``1``) draws all points
+            from the single *rng* stream, bit-reproducing the historic
+            behavior; parallel execution gives each point its own
+            stream spawned deterministically from *rng*, so results are
+            reproducible for a given seed and worker-independent (but
+            not identical to the serial noise realization).
+    """
     cache = _LinkCache(config, channel, bpf)
     ebn0_grid = np.asarray(ebn0_grid, dtype=float)
     errors = np.zeros(len(ebn0_grid), dtype=np.int64)
     bits = np.zeros(len(ebn0_grid), dtype=np.int64)
-    for i, point in enumerate(ebn0_grid):
-        e, b = simulate_ber_point(
-            config, integrator, float(point), rng, channel=channel,
-            bpf=bpf, squarer_drive=squarer_drive, adc=adc,
-            target_errors=target_errors, max_bits=max_bits,
-            min_bits=min_bits, _cache=cache)
-        errors[i] = e
-        bits[i] = b
+    if workers is not None and workers > 1 and len(ebn0_grid) > 0:
+        from repro.core.scenario import Scenario, SweepRunner
+
+        runner = SweepRunner(processes=workers)
+        for point, child in zip(ebn0_grid, rng.spawn(len(ebn0_grid))):
+            runner.add(Scenario(
+                name=f"ebn0={point:g}dB", fn=simulate_ber_point,
+                params=dict(config=config, integrator=integrator,
+                            ebn0_db=float(point), rng=child,
+                            channel=channel, bpf=bpf,
+                            squarer_drive=squarer_drive, adc=adc,
+                            target_errors=target_errors,
+                            max_bits=max_bits, min_bits=min_bits,
+                            _cache=cache)))
+        for i, result in enumerate(runner.run()):
+            errors[i], bits[i] = result.value
+    else:
+        for i, point in enumerate(ebn0_grid):
+            e, b = simulate_ber_point(
+                config, integrator, float(point), rng, channel=channel,
+                bpf=bpf, squarer_drive=squarer_drive, adc=adc,
+                target_errors=target_errors, max_bits=max_bits,
+                min_bits=min_bits, _cache=cache)
+            errors[i] = e
+            bits[i] = b
     ber = errors / np.maximum(bits, 1)
     return BerResult(ebn0_db=ebn0_grid, ber=ber, errors=errors, bits=bits,
                      label=label or integrator.name)

@@ -179,6 +179,54 @@ class TwoPoleIntegrator(WindowIntegrator):
             input_nonlinearity=self.input_nonlinearity)
 
 
+class SoftLimiter:
+    """Tanh-like soft input limiter ``f(v) = s * tanh(v / s)``.
+
+    A picklable callable (unlike a closure), so integrator models using
+    it can cross process boundaries in :class:`~repro.core.scenario`
+    sweeps.
+    """
+
+    #: accepts NumPy arrays - safe for segment-vectorized execution.
+    vectorized = True
+
+    def __init__(self, scale: float):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = float(scale)
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        return self.scale * np.tanh(np.asarray(v) / self.scale)
+
+    def __repr__(self) -> str:
+        return f"SoftLimiter(scale={self.scale:g})"
+
+
+class TabulatedNonlinearity:
+    """Interpolating static nonlinearity from measured points (clamping
+    outside the measured range).  Picklable callable."""
+
+    #: accepts NumPy arrays - safe for segment-vectorized execution.
+    vectorized = True
+
+    def __init__(self, vin: np.ndarray, f_of_vin: np.ndarray):
+        vin = np.asarray(vin, dtype=float)
+        f_of_vin = np.asarray(f_of_vin, dtype=float)
+        if vin.ndim != 1 or vin.shape != f_of_vin.shape:
+            raise ValueError("vin and f_of_vin must be matching 1-D "
+                             "arrays")
+        if np.any(np.diff(vin) <= 0):
+            raise ValueError("vin grid must be strictly increasing")
+        self.vin = vin
+        self.f_of_vin = f_of_vin
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        return np.interp(v, self.vin, self.f_of_vin)
+
+    def __repr__(self) -> str:
+        return f"TabulatedNonlinearity({len(self.vin)} points)"
+
+
 class CircuitSurrogateIntegrator(TwoPoleIntegrator):
     """Circuit-calibrated behavioral model (the fast ELDO stand-in).
 
@@ -201,12 +249,7 @@ class CircuitSurrogateIntegrator(TwoPoleIntegrator):
                  | None = None,
                  vin_linear: float = 0.1):
         if input_nonlinearity is None:
-            scale = float(vin_linear)
-
-            def soft_limit(v: np.ndarray) -> np.ndarray:
-                return scale * np.tanh(np.asarray(v) / scale)
-
-            input_nonlinearity = soft_limit
+            input_nonlinearity = SoftLimiter(float(vin_linear))
         super().__init__(gain=gain, fp1_hz=fp1_hz, fp2_hz=fp2_hz,
                          input_nonlinearity=input_nonlinearity)
         self.vin_linear = float(vin_linear)
@@ -215,15 +258,5 @@ class CircuitSurrogateIntegrator(TwoPoleIntegrator):
 def tabulated_nonlinearity(vin: np.ndarray, f_of_vin: np.ndarray
                            ) -> Callable[[np.ndarray], np.ndarray]:
     """Build an interpolating static nonlinearity from measured points
-    (clamping outside the measured range)."""
-    vin = np.asarray(vin, dtype=float)
-    f_of_vin = np.asarray(f_of_vin, dtype=float)
-    if vin.ndim != 1 or vin.shape != f_of_vin.shape:
-        raise ValueError("vin and f_of_vin must be matching 1-D arrays")
-    if np.any(np.diff(vin) <= 0):
-        raise ValueError("vin grid must be strictly increasing")
-
-    def fn(v: np.ndarray) -> np.ndarray:
-        return np.interp(v, vin, f_of_vin)
-
-    return fn
+    (clamping outside the measured range; picklable)."""
+    return TabulatedNonlinearity(vin, f_of_vin)

@@ -53,7 +53,11 @@ class WaveformSource(AnalogBlock):
 
     def __init__(self, name: str, samples: np.ndarray, out) -> None:
         super().__init__(name, outputs=[out])
-        self.samples = np.asarray(samples, dtype=float)
+        # Own, frozen copy: step_block hands out views of this array,
+        # so an in-place downstream callback must fail loudly instead
+        # of corrupting the stimulus (or the caller's array).
+        self.samples = np.array(samples, dtype=float)
+        self.samples.setflags(write=False)
         self._idx = 0
 
     def step(self, t: float, dt: float) -> None:
@@ -63,17 +67,41 @@ class WaveformSource(AnalogBlock):
             self.outputs[0].value = 0.0
         self._idx += 1
 
+    def step_block(self, t0: float, dt: float, n: int, inputs):
+        idx = self._idx
+        end = idx + n
+        self._idx = end
+        samples = self.samples
+        if end <= len(samples):
+            return (samples[idx:end],)
+        out = np.zeros(n)
+        avail = len(samples) - idx
+        if avail > 0:
+            out[:avail] = samples[idx:]
+        return (out,)
+
     def reset(self) -> None:
         self._idx = 0
 
 
 class BehavioralIntegratorBlock(AnalogBlock):
-    """Gated integrator around a streaming state (Phase II / IV)."""
+    """Gated integrator around a streaming state (Phase II / IV).
+
+    The mode signal only changes at digital events, so within an
+    inter-event segment the gate is constant and the whole window can be
+    integrated at once - provided the state implements the vectorized
+    ``integrate_block`` (both kernel ODE states do; a custom state
+    without it simply keeps this block lock-step).
+    """
 
     def __init__(self, name: str, state, vin, vout, mode: Signal):
         super().__init__(name, inputs=[vin], outputs=[vout])
         self.state = state
         self.mode = mode
+        vectorizable = getattr(state, "vectorizable", None)
+        if not hasattr(state, "integrate_block") or (
+                vectorizable is not None and not vectorizable()):
+            self.step_block = None  # instance-level opt-out
 
     def step(self, t: float, dt: float) -> None:
         mode = self.mode.value
@@ -84,6 +112,17 @@ class BehavioralIntegratorBlock(AnalogBlock):
         else:
             out = self.state.dump()
         self.outputs[0].value = float(out)
+
+    def step_block(self, t0: float, dt: float, n: int, inputs):
+        mode = self.mode.value
+        if mode == MODE_INTEGRATE:
+            return (self.state.integrate_block(inputs[0], dt),)
+        if mode == MODE_HOLD:
+            return (np.full(n, float(self.state.hold())),)
+        return (np.full(n, float(self.state.dump())),)
+
+    def reset(self) -> None:
+        self.state.dump()
 
 
 @dataclass
@@ -133,12 +172,13 @@ def build_ams_receiver(config: UwbConfig,
                        cosim_substeps: int = 1,
                        record: bool = False,
                        t_hold: float | None = None,
-                       t_dump: float | None = None
+                       t_dump: float | None = None,
+                       engine: str = "compiled",
                        ) -> tuple[Simulator, "_Harvest"]:
     """Assemble the receiver testbench; see :func:`run_ams_receiver`."""
     config.validate()
     design = design or default_design()
-    sim = Simulator(dt=config.dt)
+    sim = Simulator(dt=config.dt, engine=engine)
 
     rx = sim.quantity("rx")
     vga_out = sim.quantity("vga_out")
@@ -148,9 +188,11 @@ def build_ams_receiver(config: UwbConfig,
 
     sim.add_block(WaveformSource("rx_source", waveform, rx))
     sim.add_block(CallbackBlock("vga", lambda v: gain * v,
-                                inputs=[rx], outputs=[vga_out]))
+                                inputs=[rx], outputs=[vga_out],
+                                vectorized=True))
     sim.add_block(CallbackBlock("squarer", lambda v: v * v,
-                                inputs=[vga_out], outputs=[sq_out]))
+                                inputs=[vga_out], outputs=[sq_out],
+                                vectorized=True))
 
     resolved = make_integrator(integrator, design)
     if resolved == "circuit":
@@ -204,6 +246,7 @@ class _Harvest:
         self.int_out = int_out
         self.slot_values: list[float] = []
         self.recorder: Recorder | None = None
+        sim.on_reset(self.clear)
         slot = config.slot
         if t_hold + t_dump >= slot:
             raise ValueError("hold + dump must fit inside a slot")
@@ -220,6 +263,10 @@ class _Harvest:
 
     def _sample(self) -> None:
         self.slot_values.append(float(self.int_out.value))
+
+    def clear(self) -> None:
+        """Drop harvested samples (wired into ``Simulator.reset``)."""
+        self.slot_values.clear()
 
     def result(self) -> AmsRunResult:
         values = np.asarray(self.slot_values, dtype=float)
@@ -249,7 +296,8 @@ def run_ams_receiver(config: UwbConfig,
                      adc: Adc | None = None,
                      cosim_substeps: int = 1,
                      record: bool = False,
-                     t_stop: float | None = None) -> AmsRunResult:
+                     t_stop: float | None = None,
+                     engine: str = "compiled") -> AmsRunResult:
     """Run the mixed-signal receiver over *waveform*.
 
     Args:
@@ -264,6 +312,10 @@ def run_ams_receiver(config: UwbConfig,
         record: attach a waveform recorder (rx, vga, squarer, integrator).
         t_stop: simulation span (default: the waveform duration rounded
             down to whole symbols).
+        engine: kernel execution engine (``"compiled"`` vectorizes the
+            behavioral back ends between digital events; ``"reference"``
+            is the lock-step oracle; circuit co-simulation always runs
+            lock-step regardless).
 
     Returns:
         An :class:`AmsRunResult` with demodulated bits, per-slot ADC
@@ -271,7 +323,7 @@ def run_ams_receiver(config: UwbConfig,
     """
     sim, harvest = build_ams_receiver(
         config, integrator, waveform, gain=gain, design=design, adc=adc,
-        cosim_substeps=cosim_substeps, record=record)
+        cosim_substeps=cosim_substeps, record=record, engine=engine)
     if t_stop is None:
         n_symbols = len(waveform) // config.samples_per_symbol
         t_stop = n_symbols * config.symbol_period

@@ -132,6 +132,116 @@ class TestBlocks:
         assert sim.cpu_time > 0
 
 
+class TestReset:
+    """The reset contract: back-to-back runs are reproducible."""
+
+    def _integrating_bench(self):
+        sim = Simulator(dt=1e-9)
+        src = sim.quantity("src", init=1.0)
+        acc = sim.quantity("acc")
+
+        class Accumulator(AnalogBlock):
+            def __init__(self, name, vin, vout):
+                super().__init__(name, inputs=[vin], outputs=[vout])
+                self.total = 0.0
+
+            def step(self, t, dt):
+                self.total += self.inputs[0].value
+                self.outputs[0].value = self.total
+
+            def reset(self):
+                self.total = 0.0
+
+        sim.add_block(Accumulator("acc", src, acc))
+        return sim, src, acc
+
+    def test_reset_restores_quantities_and_signals(self):
+        sim, src, acc = self._integrating_bench()
+        gate = sim.signal("gate", init=0)
+        sim.schedule(2e-9, lambda: gate.assign(1))
+        sim.run_steps(5)
+        assert acc.value == 5.0 and gate.value == 1
+        sim.reset()
+        assert sim.t == 0.0 and sim.steps == 0 and sim.cpu_time == 0.0
+        assert acc.value == 0.0 and src.value == 1.0
+        assert gate.value == 0 and gate.last_change == 0.0
+
+    def test_back_to_back_runs_identical(self):
+        sim, src, acc = self._integrating_bench()
+        counts = []
+        sim.every(2e-9, lambda s: counts.append(s.t), start=2e-9)
+        sim.run_steps(6)
+        first = (acc.value, list(counts))
+        sim.reset()
+        counts.clear()
+        sim.run_steps(6)
+        assert (acc.value, list(counts)) == first
+
+    def test_reset_rearms_build_time_schedule_and_assign(self):
+        sim = Simulator(dt=1e-9)
+        s = sim.signal("s", init=0)
+        s.assign(3, after=2e-9)
+        fired = []
+        sim.schedule(4e-9, lambda: fired.append(sim.t))
+        sim.run_steps(6)
+        assert s.value == 3 and fired == [4e-9]
+        sim.reset()
+        assert s.value == 0
+        sim.run_steps(6)
+        assert s.value == 3 and fired == [4e-9, 4e-9]
+
+    def test_runtime_events_not_rearmed(self):
+        """Events scheduled after the run started are one-shot: reset
+        replays only the testbench construction."""
+        sim = Simulator(dt=1e-9)
+        fired = []
+        sim.initialize()  # ends the build phase
+        sim.schedule(2e-9, lambda: fired.append("runtime"))
+        sim.run_steps(4)
+        assert fired == ["runtime"]
+        sim.reset()
+        sim.run_steps(4)
+        assert fired == ["runtime"]
+
+    def test_reset_clears_recorders(self):
+        """A decimated recorder restarts its phase and discards old
+        samples on reset, so a rerun records exactly what a fresh run
+        would."""
+        sim = Simulator(dt=1e-9)
+        q = sim.quantity("q", init=1.0)
+        sim.add_block(CallbackBlock("id", lambda v: v, inputs=[q],
+                                    outputs=[sim.quantity("q2")]))
+        rec = Recorder(sim, [q], decimate=4)
+        sim.run_steps(6)
+        first = list(rec.t)
+        sim.reset()
+        sim.run_steps(6)
+        assert list(rec.t) == first == [pytest.approx(4e-9)]
+
+    def test_ams_receiver_rerun_reproducible(self):
+        import numpy as np
+
+        from repro.uwb.config import UwbConfig
+        from repro.uwb.modulation import ppm_waveform
+        from repro.uwb.system import build_ams_receiver
+
+        config = UwbConfig(fs=8e9, symbol_period=16e-9,
+                           pulse_tau=0.225e-9, pulse_order=5,
+                           integration_window=2e-9)
+        bits = np.array([1, 0, 1, 1], dtype=np.int8)
+        sig = ppm_waveform(bits, config, amplitude=0.1)
+        sim, harvest = build_ams_receiver(config, "ideal", sig)
+        t_stop = len(bits) * config.symbol_period
+        sim.run(t_stop)
+        first = harvest.result()
+        sim.reset()  # also clears the harvest (on_reset wiring)
+        sim.run(t_stop)
+        second = harvest.result()
+        assert len(second.bits) == len(bits)
+        assert np.array_equal(first.bits, second.bits)
+        assert np.array_equal(first.slot_values, second.slot_values)
+
+
 class TestRecorderAndTrace:
     def test_recorder_samples_every_step(self):
         sim = Simulator(dt=1e-9)

@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.uwb import UwbConfig, ber_curve, simulate_ber_point
+from repro.uwb import ChannelRealization, UwbConfig, ber_curve, \
+    simulate_ber_point
 from repro.uwb.bpf import BandPassFilter
-from repro.uwb.fastsim import theoretical_ppm_awgn_ber
+from repro.uwb.fastsim import _LinkCache, theoretical_ppm_awgn_ber
 from repro.uwb.integrator import (
     CircuitSurrogateIntegrator,
     IdealIntegrator,
@@ -73,6 +74,51 @@ class TestFastsim:
         # Q(1) = 0.1587 at Eb/N0 = 0 dB
         assert ber[0] == pytest.approx(0.1587, abs=1e-3)
         assert ber[1] < ber[0]
+
+
+class TestLinkCachePilot:
+    """The cached Eb/peak pilot must see exactly the data-path
+    processing of simulate_ber_point (delay trim + whole-symbol
+    truncation)."""
+
+    def _channel(self, delay: int) -> ChannelRealization:
+        taps = np.exp(-np.arange(160) / 40.0)
+        taps /= np.sqrt(np.sum(taps ** 2))
+        return ChannelRealization(taps=taps, delay_samples=delay,
+                                  fs=FAST.fs, distance=3.0)
+
+    def test_pilot_matches_data_path(self):
+        channel = self._channel(delay=57)
+        cache = _LinkCache(FAST, channel, None)
+        n_sym = FAST.samples_per_symbol
+        pilot = ppm_waveform(np.zeros(8, dtype=np.int8), FAST)
+        aligned = channel.apply(pilot)[
+            channel.delay_samples:channel.delay_samples + 8 * n_sym]
+        filtered = cache.bpf(aligned)[:8 * n_sym]
+        expected_eb = float(np.sum(filtered ** 2) * FAST.dt / 8)
+        assert cache.eb == pytest.approx(expected_eb, rel=1e-12)
+        assert cache.peak == pytest.approx(
+            float(np.max(np.abs(filtered))), rel=1e-12)
+
+    def test_eb_invariant_under_propagation_delay(self):
+        """A pure extra flight time must not change the measured
+        per-bit energy - the delay trim realigns the pilot exactly as
+        the data path realigns the payload."""
+        near = _LinkCache(FAST, self._channel(delay=0), None)
+        far = _LinkCache(FAST, self._channel(delay=400), None)
+        assert far.eb == pytest.approx(near.eb, rel=1e-9)
+        assert far.peak == pytest.approx(near.peak, rel=1e-9)
+
+    def test_tail_energy_not_counted(self):
+        """Multipath energy convolved past the last symbol window is
+        excluded from Eb (it is also invisible to the data path)."""
+        channel = self._channel(delay=0)
+        cache = _LinkCache(FAST, channel, None)
+        n_sym = FAST.samples_per_symbol
+        pilot = ppm_waveform(np.zeros(8, dtype=np.int8), FAST)
+        untrimmed = cache.bpf(channel.apply(pilot))
+        eb_with_tail = float(np.sum(untrimmed ** 2) * FAST.dt / 8)
+        assert cache.eb < eb_with_tail
 
 
 class TestAmsReceiver:
