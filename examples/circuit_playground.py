@@ -6,7 +6,12 @@ netlist of a two-stage amplifier is parsed, biased, swept and
 transient-simulated; then the paper's I&D testbench is probed.
 
 Run:  python examples/circuit_playground.py
+
+``REPRO_SMOKE=1`` shortens the sweeps so CI can smoke-test the script
+in seconds.
 """
+
+import os
 
 import numpy as np
 
@@ -43,19 +48,22 @@ def main() -> None:
         print(f"  {name}: id={info['ids'] * 1e6:7.1f} uA  "
               f"gm={info['gm'] * 1e3:6.3f} mS  {region}")
 
-    freqs = logspace_freqs(1e3, 10e9, 6)
+    smoke = os.environ.get("REPRO_SMOKE") == "1"
+    freqs = logspace_freqs(1e3, 10e9, 3 if smoke else 6)
     ac = ac_analysis(ckt, freqs, op=op)
     gain = ac.mag_db("out")
     print(f"  midband gain: {gain.max():.1f} dB; "
           f"gain at 1 GHz: {np.interp(9.0, np.log10(freqs), gain):.1f} dB")
 
     # The paper's I&D testbench, step response through the Spice engine.
+    t_stop = 10e-9 if smoke else 40e-9
     tb = build_id_testbench(diff_dc=0.03)
-    res = transient(tb, 40e-9, 0.2e-9, probes=["out_intp", "out_intm"],
+    res = transient(tb, t_stop, 0.2e-9, probes=["out_intp", "out_intm"],
                     initial_guess=ID_OP_GUESS)
     vd = res.vdiff("out_intp", "out_intm")
-    print(f"\nI&D integrating 30 mV for 40 ns -> {vd[-1] * 1e3:.1f} mV "
-          f"(slope {vd[-1] / 40e-9 / 0.03 / 1e6:.1f} V/V/us)")
+    print(f"\nI&D integrating 30 mV for {t_stop * 1e9:.0f} ns -> "
+          f"{vd[-1] * 1e3:.1f} mV "
+          f"(slope {vd[-1] / t_stop / 0.03 / 1e6:.1f} V/V/us)")
 
 
 if __name__ == "__main__":

@@ -7,7 +7,11 @@ under each binding (substitute-and-play), and prints the system metric
 (demodulated bits) plus the Table-1-style CPU account.
 
 Run:  python examples/methodology_flow.py
+``REPRO_SMOKE=1`` shrinks the simulated burst so CI can smoke-test
+the script in seconds.
 """
+
+import os
 
 import numpy as np
 
@@ -24,10 +28,13 @@ from repro.uwb.modulation import ppm_waveform, random_bits
 from repro.uwb.system import run_ams_receiver
 
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
+
 def main() -> None:
     config = UwbConfig()
     rng = np.random.default_rng(3)
-    tx_bits = random_bits(12, rng)
+    tx_bits = random_bits(6 if SMOKE else 12, rng)
     wave = ppm_waveform(tx_bits, config)
     wave = wave + rng.normal(0.0, 0.02, len(wave))
     bpf = BandPassFilter.for_pulse(config.fs, config.pulse_tau,

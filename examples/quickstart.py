@@ -8,13 +8,20 @@
 4. Compare a small BER sweep with the ideal and circuit-derived models.
 
 Run:  python examples/quickstart.py
+
+``REPRO_SMOKE=1`` shrinks the BER sweep so CI can smoke-test the
+script in seconds.
 """
+
+import os
 
 import numpy as np
 
 from repro.circuits import build_integrate_dump, count_transistors
 from repro.core.characterize import build_surrogate, characterize_integrator
 from repro.uwb import UwbConfig, IdealIntegrator, ber_curve
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def main() -> None:
@@ -35,13 +42,15 @@ def main() -> None:
 
     # --- 4. BER comparison --------------------------------------------
     config = UwbConfig()
-    grid = [4.0, 8.0, 12.0]
+    grid = [4.0, 8.0] if SMOKE else [4.0, 8.0, 12.0]
+    budget = (dict(target_errors=20, max_bits=4_000, min_bits=1_000)
+              if SMOKE else
+              dict(target_errors=40, max_bits=20_000, min_bits=2_000))
     ideal = ber_curve(config, IdealIntegrator(), grid,
-                      np.random.default_rng(1), target_errors=40,
-                      max_bits=20_000, min_bits=2_000, label="ideal")
+                      np.random.default_rng(1), label="ideal", **budget)
     circuit = ber_curve(config, surrogate, grid,
-                        np.random.default_rng(1), target_errors=40,
-                        max_bits=20_000, min_bits=2_000, label="circuit")
+                        np.random.default_rng(1), label="circuit",
+                        **budget)
     print(f"{'Eb/N0':>7s} {'ideal':>10s} {'circuit':>10s}")
     for e, a, b in zip(grid, ideal.ber, circuit.ber):
         print(f"{e:>7.1f} {a:>10.4f} {b:>10.4f}")

@@ -6,8 +6,12 @@ TG4a CM1 LOS channel with the ideal and circuit integrators, then shows
 how the proposed two-stage AGC removes the compression-induced offset.
 
 Run:  python examples/ranging_study.py [distance_m]
+
+``REPRO_SMOKE=1`` shrinks the iteration counts so CI can smoke-test
+the script in seconds.
 """
 
+import os
 import sys
 
 import numpy as np
@@ -16,15 +20,19 @@ from repro.experiments import run_agc_ablation, run_table2
 from repro.experiments.table2_twr import TWR_CONFIG, make_twr
 from repro.uwb import IdealIntegrator, UwbConfig
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
 
 def main() -> None:
     distance = float(sys.argv[1]) if len(sys.argv) > 1 else 9.9
 
-    table2 = run_table2(distance=distance, iterations=10, seed=42)
+    table2 = run_table2(distance=distance,
+                        iterations=3 if SMOKE else 10, seed=42)
     print(table2.format_report())
     print()
 
-    ablation = run_agc_ablation(distance=distance, iterations=8, seed=42)
+    ablation = run_agc_ablation(distance=distance,
+                                iterations=2 if SMOKE else 8, seed=42)
     print(ablation.format_report())
     print()
 
@@ -32,9 +40,9 @@ def main() -> None:
     # gracefully with path loss.
     config = UwbConfig(**TWR_CONFIG)
     print("Distance sweep (ideal integrator):")
-    for d in (3.0, 6.0, 9.9):
+    for d in (3.0, 9.9) if SMOKE else (3.0, 6.0, 9.9):
         twr = make_twr(config, IdealIntegrator(), distance=d)
-        res = twr.run(6, np.random.default_rng(1))
+        res = twr.run(2 if SMOKE else 6, np.random.default_rng(1))
         print(f"  {d:5.1f} m -> mean {res.mean:6.2f} m, "
               f"std {res.std:5.2f} m")
 

@@ -1,0 +1,32 @@
+"""Campaign layer: persistent, resumable, scriptable experiment runs.
+
+The paper's point is making mixed-signal system simulation cheap
+enough for large design-space exploration; this subsystem makes such
+campaigns *incremental*:
+
+* :mod:`repro.campaign.store` - a content-addressed result store
+  (JSON index + NPZ payloads) keyed by a stable hash of
+  ``(fn qualname, params, seed, code-version salt)``,
+* :mod:`repro.campaign.runner` - a resumable drop-in
+  :class:`~repro.core.scenario.SweepRunner` that checkpoints every
+  scenario result as it completes and re-runs only what is missing,
+* :mod:`repro.campaign.cli` - the ``python -m repro`` command line
+  driving all experiment harnesses through the campaign layer.
+"""
+
+from repro.campaign.runner import CampaignReport, CampaignRunner
+from repro.campaign.store import (
+    ResultStore,
+    StoreEntry,
+    default_cache_dir,
+    default_salt,
+)
+
+__all__ = [
+    "CampaignReport",
+    "CampaignRunner",
+    "ResultStore",
+    "StoreEntry",
+    "default_cache_dir",
+    "default_salt",
+]

@@ -1,0 +1,125 @@
+"""Resumable campaign execution on top of :class:`SweepRunner`.
+
+A :class:`CampaignRunner` is a drop-in :class:`SweepRunner` that,
+when given a :class:`~repro.campaign.store.ResultStore`,
+
+* serves already-computed scenarios straight from the store (their
+  :class:`SweepResult` comes back with ``cached=True``),
+* executes only the missing ones, **checkpointing each result the
+  moment it completes** - an interrupted sweep therefore loses at most
+  the scenario in flight, and re-running the identical campaign
+  completes only what is missing,
+* merges cached and fresh results into one report in submission order.
+
+With ``store=None`` it behaves exactly like a plain ``SweepRunner``,
+so harnesses can route through it unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.scenario import (
+    Scenario,
+    SweepReport,
+    SweepResult,
+    SweepRunner,
+    _execute,
+)
+from repro.campaign.store import ResultStore
+
+
+@dataclass
+class CampaignReport(SweepReport):
+    """A :class:`SweepReport` plus campaign bookkeeping.
+
+    Attributes:
+        executed: scenarios actually run this invocation.
+        cached: scenarios served from the result store.
+    """
+
+    executed: int = 0
+    cached: int = 0
+
+    @property
+    def executed_wall_time(self) -> float:
+        """Wall time spent executing (cache hits excluded)."""
+        return sum(r.wall_time for r in self.results if not r.cached)
+
+    def format_summary(self) -> str:
+        return (f"campaign: executed={self.executed} "
+                f"cached={self.cached} "
+                f"wall={self.executed_wall_time:.3f}s")
+
+
+class CampaignRunner(SweepRunner):
+    """A :class:`SweepRunner` with content-addressed result caching.
+
+    Args:
+        scenarios: initial scenarios (more can be :meth:`add`-ed).
+        processes: fan-out degree (see :class:`SweepRunner`).
+        store: result store; ``None`` disables caching entirely.
+    """
+
+    def __init__(self, scenarios: Iterable[Scenario] = (), *,
+                 processes: int | None = None,
+                 store: ResultStore | None = None):
+        super().__init__(scenarios, processes=processes)
+        self.store = store
+
+    def run(self) -> CampaignReport:
+        """Execute the campaign; cached scenarios are not re-run."""
+        if self.store is None:
+            plain = super().run()
+            return CampaignReport(results=plain.results,
+                                  executed=len(plain.results), cached=0)
+        slots: list[SweepResult | None] = [None] * len(self.scenarios)
+        pending: list[tuple[int, str | None, Scenario]] = []
+        for i, scenario in enumerate(self.scenarios):
+            # The key is computed once and reused for the checkpoint:
+            # execution may mutate lazy caches inside param objects,
+            # which must not move the content address.
+            key = self.store.scenario_key(scenario)
+            hit = self.store.get(scenario, key)
+            if hit is not None:
+                slots[i] = hit
+            else:
+                pending.append((i, key, scenario))
+        if pending:
+            self._execute_pending(pending, slots)
+        return CampaignReport(results=[r for r in slots if r is not None],
+                              executed=len(pending),
+                              cached=len(self.scenarios) - len(pending))
+
+    def _execute_pending(self, pending, slots) -> None:
+        if self.processes is None or self.processes <= 1:
+            for i, key, scenario in pending:
+                result = _execute(scenario)
+                self.store.put(scenario, result, key)
+                slots[i] = result
+            return
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        workers = min(self.processes, len(pending))
+        first_exc: BaseException | None = None
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_execute, scenario): (i, key, scenario)
+                       for i, key, scenario in pending}
+            for future in as_completed(futures):
+                i, key, scenario = futures[future]
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    # Keep draining: sibling scenarios that completed
+                    # must still be checkpointed, or one failure would
+                    # throw away every other worker's finished result.
+                    if first_exc is None:
+                        first_exc = exc
+                    continue
+                # Checkpoint from the parent as each worker finishes,
+                # so an interrupt mid-sweep keeps completed scenarios.
+                self.store.put(scenario, result, key)
+                slots[i] = result
+        if first_exc is not None:
+            raise first_exc

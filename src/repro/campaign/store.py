@@ -1,0 +1,343 @@
+"""Content-addressed result store: the campaign layer's persistence.
+
+Every :class:`~repro.core.scenario.Scenario` has a *content address* -
+a SHA-256 over its canonical encoding::
+
+    key = sha256({fn qualname, params, seed, rng/seed conventions, salt})
+
+where *salt* defaults to ``repro-<package version>`` so a code release
+invalidates old results wholesale (pass an explicit salt to pin or
+partition a campaign).  Results are stored one file pair per key:
+
+.. code-block:: text
+
+    <cache root>/
+        index.json              derived metadata (rebuildable)
+        objects/<key>.json      scenario echo + encoded value + timings
+        objects/<key>.npz       NumPy array payloads (only if any)
+        reports/<name>.txt      rendered experiment reports (CLI)
+
+The object files are the source of truth; ``index.json`` is a
+convenience view for ``repro cache ls`` and is rebuilt on demand, so a
+campaign interrupted mid-write never corrupts previously stored
+results (all writes are atomic rename).
+
+Scenarios are only cacheable when they are *deterministic on paper*:
+a scenario that injects entropy (``rng_param``/``seed_param`` with
+``seed=None``) or whose function/params cannot be encoded (lambdas)
+is silently treated as uncacheable and simply always executes.
+
+The cache root resolves, in order: explicit argument, the
+``REPRO_CACHE_DIR`` environment variable, ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro import __version__
+from repro.core.scenario import Scenario, SweepResult
+from repro.core.serialization import (
+    UnserializableError,
+    callable_spec,
+    from_jsonable,
+    stable_hash,
+    to_jsonable,
+)
+
+#: format marker of the per-result object files.
+OBJECT_FORMAT = "repro.result/1"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def default_salt() -> str:
+    """Code-version salt baked into every content address."""
+    return f"repro-{__version__}"
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One stored result, as listed by ``repro cache ls``."""
+
+    key: str
+    name: str
+    fn: str
+    wall_time: float
+    created: float
+    size_bytes: int
+    has_arrays: bool
+
+
+class ResultStore:
+    """Content-addressed store of :class:`SweepResult` values.
+
+    Args:
+        root: cache directory (created lazily on first write); defaults
+            to :func:`default_cache_dir`.
+        salt: hash-key salt; defaults to :func:`default_salt`.
+
+    Attributes:
+        hits / misses: lookup counters of this store instance -
+            ``misses`` equals the number of scenarios that had to
+            execute, which is what the CLI's ``executed=N`` line and
+            the CI cache-hit smoke job report.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None, *,
+                 salt: str | None = None):
+        self.root = Path(root).expanduser() if root is not None \
+            else default_cache_dir()
+        self.salt = salt if salt is not None else default_salt()
+        self.hits = 0
+        self.misses = 0
+        #: in-memory index entries, loaded lazily on first write.
+        self._index: dict[str, dict] | None = None
+
+    # -- layout -------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def reports_dir(self) -> Path:
+        return self.root / "reports"
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def _object_path(self, key: str) -> Path:
+        return self.objects_dir / f"{key}.json"
+
+    def _payload_path(self, key: str) -> Path:
+        return self.objects_dir / f"{key}.npz"
+
+    # -- keys ---------------------------------------------------------
+
+    def scenario_key(self, scenario: Scenario) -> str | None:
+        """Content address of *scenario*, or ``None`` if uncacheable.
+
+        Uncacheable means opted out (``Scenario.cache=False``),
+        nondeterministic (entropy injection with no seed) or
+        unencodable (lambda function / exotic params).
+        """
+        if not scenario.cache:
+            return None
+        if scenario.seed is None and (scenario.rng_param
+                                      or scenario.seed_param):
+            return None
+        key_params = scenario.key_params
+        if key_params is None:
+            key_params = scenario.params
+        try:
+            payload = {
+                "fn": callable_spec(scenario.fn),
+                "params": dict(key_params),
+                "seed": scenario.seed,
+                "rng_param": scenario.rng_param,
+                "seed_param": scenario.seed_param,
+                "salt": self.salt,
+            }
+            return stable_hash(payload)
+        except UnserializableError:
+            return None
+
+    # -- read path ----------------------------------------------------
+
+    def contains(self, scenario: Scenario) -> bool:
+        key = self.scenario_key(scenario)
+        return key is not None and self._object_path(key).exists()
+
+    def get(self, scenario: Scenario,
+            key: str | None = None) -> SweepResult | None:
+        """Stored result of *scenario*, or ``None`` (counted as a
+        miss - i.e. the scenario will have to execute)."""
+        if key is None:
+            key = self.scenario_key(scenario)
+        result = self._load(key, scenario) if key is not None else None
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def _load(self, key: str, scenario: Scenario) -> SweepResult | None:
+        path = self._object_path(key)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if record.get("format") != OBJECT_FORMAT:
+            return None
+        arrays = None
+        payload = self._payload_path(key)
+        try:
+            if record.get("has_arrays"):
+                with np.load(payload, allow_pickle=False) as npz:
+                    arrays = {name: npz[name] for name in npz.files}
+            value = from_jsonable(record["value"], arrays)
+        except Exception:
+            # Torn write, missing/corrupt payload, or an entry written
+            # against renamed code (stale import path, unpicklable
+            # blob): treat as absent; the scenario re-executes and
+            # overwrites the entry.
+            return None
+        return SweepResult(scenario=scenario, value=value,
+                           wall_time=float(record.get("wall_time", 0.0)),
+                           cached=True)
+
+    # -- write path ---------------------------------------------------
+
+    def put(self, scenario: Scenario, result: SweepResult,
+            key: str | None = None) -> str | None:
+        """Persist *result* under *scenario*'s content address.
+
+        Returns the key, or ``None`` when the scenario (or its value)
+        is uncacheable - the campaign then simply runs uncached.
+        """
+        if key is None:
+            key = self.scenario_key(scenario)
+        if key is None:
+            return None
+        arrays: dict[str, np.ndarray] = {}
+        try:
+            record = {
+                "format": OBJECT_FORMAT,
+                "key": key,
+                "salt": self.salt,
+                "scenario": {
+                    "name": scenario.name,
+                    "fn": callable_spec(scenario.fn),
+                    "params": to_jsonable(dict(scenario.params), arrays),
+                    "seed": to_jsonable(scenario.seed, arrays),
+                    "rng_param": scenario.rng_param,
+                    "seed_param": scenario.seed_param,
+                },
+                "value": to_jsonable(result.value, arrays),
+                "wall_time": result.wall_time,
+                "created": time.time(),
+                "has_arrays": bool(arrays),
+            }
+        except UnserializableError:
+            return None
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        if arrays:
+            def write_npz(path: Path) -> None:
+                # A file handle stops savez from appending ".npz" to
+                # the temp name, keeping the atomic rename simple.
+                with open(path, "wb") as fh:
+                    np.savez_compressed(fh, **arrays)
+
+            self._atomic_write(self._payload_path(key), write_npz)
+        self._atomic_write(
+            self._object_path(key),
+            lambda path: path.write_text(json.dumps(record, indent=1)))
+        self._index_add(key, {"name": scenario.name,
+                              "fn": record["scenario"]["fn"],
+                              "wall_time": result.wall_time,
+                              "created": record["created"]})
+        return key
+
+    @staticmethod
+    def _atomic_write(path: Path, writer) -> None:
+        tmp = path.with_name(path.name + ".tmp")
+        writer(tmp)
+        os.replace(tmp, path)
+
+    # -- maintenance --------------------------------------------------
+
+    def entries(self) -> list[StoreEntry]:
+        """All stored results (scanned from the object files)."""
+        out = []
+        if not self.objects_dir.is_dir():
+            return out
+        for path in sorted(self.objects_dir.glob("*.json")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if record.get("format") != OBJECT_FORMAT:
+                continue
+            key = record.get("key", path.stem)
+            size = path.stat().st_size
+            payload = self._payload_path(key)
+            if payload.exists():
+                size += payload.stat().st_size
+            out.append(StoreEntry(
+                key=key,
+                name=record.get("scenario", {}).get("name", "?"),
+                fn=record.get("scenario", {}).get("fn", "?"),
+                wall_time=float(record.get("wall_time", 0.0)),
+                created=float(record.get("created", 0.0)),
+                size_bytes=size,
+                has_arrays=bool(record.get("has_arrays"))))
+        return out
+
+    def _index_add(self, key: str, meta: dict) -> None:
+        """Incrementally update ``index.json`` (no object-dir rescan:
+        checkpoint cost must not grow with the store size)."""
+        if self._index is None:
+            self._index = self._load_index_entries()
+        self._index[key] = meta
+        index = {"format": "repro.index/1", "salt": self.salt,
+                 "entries": self._index}
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(
+            self.index_path,
+            lambda path: path.write_text(json.dumps(index, indent=1)))
+
+    def _load_index_entries(self) -> dict[str, dict]:
+        try:
+            index = json.loads(self.index_path.read_text())
+            entries = index.get("entries", {})
+            if isinstance(entries, dict):
+                return entries
+        except (OSError, ValueError):
+            pass
+        # Missing or corrupt index: rebuild once from the object files.
+        return {e.key: {"name": e.name, "fn": e.fn,
+                        "wall_time": e.wall_time, "created": e.created}
+                for e in self.entries()}
+
+    def clear(self) -> int:
+        """Delete all stored results (reports are kept); returns the
+        number of entries removed."""
+        removed = 0
+        if self.objects_dir.is_dir():
+            for path in self.objects_dir.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+            for path in self.objects_dir.glob("*.npz"):
+                path.unlink(missing_ok=True)
+        self.index_path.unlink(missing_ok=True)
+        self._index = None
+        return removed
+
+    # -- rendered reports (CLI) ---------------------------------------
+
+    def save_report(self, name: str, text: str) -> Path:
+        self.reports_dir.mkdir(parents=True, exist_ok=True)
+        path = self.reports_dir / f"{name}.txt"
+        self._atomic_write(path, lambda p: p.write_text(text))
+        return path
+
+    def load_reports(self) -> Iterator[tuple[str, str]]:
+        if not self.reports_dir.is_dir():
+            return
+        for path in sorted(self.reports_dir.glob("*.txt")):
+            yield path.stem, path.read_text()

@@ -21,6 +21,7 @@ closures); results come back in submission order.  Serial execution
 from __future__ import annotations
 
 import itertools
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -46,6 +47,15 @@ class Scenario:
         seed_param: if set, pass the seed as an ``int`` under this
             keyword (the convention of harnesses like
             ``run_table1(seed=...)``).
+        cache: opt-out flag for the campaign layer - ``False`` marks a
+            run that must execute every time even under a result store
+            (e.g. repeated timing measurements, whose content address
+            would otherwise collapse the repeats onto one entry).
+        key_params: optional override of the parameters hashed into
+            the campaign content address (default: *params*).  Use it
+            to normalize execution-only knobs - e.g. a worker count
+            that changes scheduling but not results - so equivalent
+            runs share one cache entry.
     """
 
     name: str
@@ -54,6 +64,8 @@ class Scenario:
     seed: Any = None
     rng_param: str | None = None
     seed_param: str | None = None
+    cache: bool = True
+    key_params: Mapping[str, Any] | None = None
 
     def build_kwargs(self) -> dict[str, Any]:
         kwargs = dict(self.params)
@@ -77,11 +89,17 @@ class Scenario:
 
 @dataclass
 class SweepResult:
-    """Outcome of one scenario: the returned value plus wall time."""
+    """Outcome of one scenario: the returned value plus wall time.
+
+    ``cached`` marks results served from a
+    :class:`repro.campaign.store.ResultStore` instead of executed
+    (their ``wall_time`` is the original run's).
+    """
 
     scenario: Scenario
     value: Any
     wall_time: float
+    cached: bool = False
 
     @property
     def name(self) -> str:
@@ -131,8 +149,38 @@ class SweepReport:
     def format_table(self) -> str:
         lines = [f"{'Scenario':<32s} {'Wall time':>10s}"]
         for r in self.results:
-            lines.append(f"{r.name:<32s} {r.wall_time:>9.3f}s")
+            suffix = "  (cached)" if r.cached else ""
+            lines.append(f"{r.name:<32s} {r.wall_time:>9.3f}s{suffix}")
         return "\n".join(lines)
+
+    #: format marker of the JSON serialization.
+    JSON_FORMAT = "repro.sweep-report/1"
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Serialize the report (scenarios, values, timings) to JSON.
+
+        Values are encoded with :mod:`repro.core.serialization`: result
+        dataclasses and NumPy arrays round-trip exactly; scenario
+        functions are stored as ``module:qualname`` references, so
+        reports over lambdas cannot be serialized.
+        """
+        from repro.core.serialization import to_jsonable
+
+        payload = {"format": self.JSON_FORMAT,
+                   "results": [to_jsonable(r) for r in self.results]}
+        return json.dumps(payload, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepReport":
+        """Inverse of :meth:`to_json`."""
+        from repro.core.serialization import from_jsonable
+
+        payload = json.loads(text)
+        fmt = payload.get("format")
+        if fmt != cls.JSON_FORMAT:
+            raise ValueError(f"unsupported sweep-report format: {fmt!r}")
+        return cls(results=[from_jsonable(r)
+                            for r in payload["results"]])
 
 
 class SweepRunner:

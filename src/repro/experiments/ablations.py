@@ -14,7 +14,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.scenario import Scenario, SweepRunner
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.store import ResultStore
+from repro.core.scenario import Scenario
 from repro.experiments.table2_twr import (
     TWR_DETECTION_FACTOR,
     TWR_NOISE_SIGMA,
@@ -94,10 +96,11 @@ def _run_twr_arm(two_stage: bool, distance: float, iterations: int,
 
 def run_agc_ablation(distance: float = 9.9, iterations: int = 10,
                      seed: int = 42,
-                     processes: int | None = None) -> AgcAblationResult:
+                     processes: int | None = None,
+                     store: ResultStore | None = None) -> AgcAblationResult:
     """TWR with the circuit integrator under both AGC policies (both
     arms share the seed, so they see the same noise/channel draws)."""
-    runner = SweepRunner(processes=processes)
+    runner = CampaignRunner(processes=processes, store=store)
     for label, two_stage in (("single", False), ("two_stage", True)):
         runner.add(Scenario(
             name=label, fn=_run_twr_arm, seed=seed, rng_param="rng",
@@ -131,7 +134,8 @@ def run_noise_shaping_ablation(ebn0_db: float = 12.0,
                                fp2_grid=(1e9, 3e9, 6e9, 20e9),
                                seed: int = 7,
                                quick: bool = True,
-                               processes: int | None = None
+                               processes: int | None = None,
+                               store: ResultStore | None = None
                                ) -> NoiseShapingResult:
     """BER versus the model's second pole, paired against the ideal
     integrator (every arm shares the seed, hence the noise)."""
@@ -143,7 +147,7 @@ def run_noise_shaping_ablation(ebn0_db: float = 12.0,
         budget = dict(target_errors=300, max_bits=600_000,
                       min_bits=40_000)
 
-    runner = SweepRunner(processes=processes)
+    runner = CampaignRunner(processes=processes, store=store)
     runner.add(Scenario(
         name="ideal", fn=ber_curve, seed=seed, rng_param="rng",
         params=dict(config=config, integrator=IdealIntegrator(),

@@ -22,8 +22,10 @@ from repro.circuits import (
     default_design,
 )
 from repro.circuits.integrate_dump import integrate_hold_dump_waves
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.store import ResultStore
 from repro.core.characterize import ID_OP_GUESS, characterize_integrator
-from repro.core.scenario import Scenario, SweepRunner
+from repro.core.scenario import Scenario
 from repro.spice import transient
 from repro.spice.devices import Pulse
 from repro.uwb.integrator import IdealIntegrator, TwoPoleIntegrator
@@ -113,7 +115,8 @@ def run_fig5(design: IntegrateDumpDesign | None = None,
 
 
 def run_fig5_drive_sweep(drives=(0.02, 0.15), dt: float = 0.4e-9,
-                         processes: int | None = None
+                         processes: int | None = None,
+                         store: ResultStore | None = None
                          ) -> list[Fig5Result]:
     """Figure-5 transients across input drive levels (the distortion
     study: the pole-only model tracks the netlist at small drive and
@@ -123,7 +126,7 @@ def run_fig5_drive_sweep(drives=(0.02, 0.15), dt: float = 0.4e-9,
         One :class:`Fig5Result` per drive, in the given order (each
         result carries its drive as ``diff_dc``).
     """
-    runner = SweepRunner(processes=processes)
+    runner = CampaignRunner(processes=processes, store=store)
     for drive in drives:
         runner.add(Scenario(name=f"drive={float(drive):g}", fn=run_fig5,
                             params=dict(diff_dc=float(drive), dt=dt)))

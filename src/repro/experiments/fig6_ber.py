@@ -13,10 +13,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.store import ResultStore
 from repro.core.metrics import BerComparison, compare_ber
-from repro.core.scenario import Scenario, SweepRunner
+from repro.core.scenario import Scenario
 from repro.uwb import UwbConfig, ber_curve
 from repro.uwb.bpf import BandPassFilter
+from repro.uwb.fastsim import AdaptiveStopping
 from repro.uwb.integrator import (
     CircuitSurrogateIntegrator,
     IdealIntegrator,
@@ -34,11 +37,16 @@ BER_DRIVE = 0.05
 
 @dataclass
 class Fig6Result:
-    """Paired BER curves + comparison."""
+    """Paired BER curves + comparison.
+
+    ``curves`` keeps the raw per-curve results (error counters and
+    Wilson confidence bounds) - the campaign artifact of record.
+    """
 
     comparison: BerComparison
     config: UwbConfig
     drive: float
+    curves: dict[str, "BerResult"] | None = None
 
     @property
     def monotone(self) -> bool:
@@ -56,6 +64,11 @@ class Fig6Result:
                  f"  winner at high Eb/N0: "
                  f"{self.comparison.wins_at_high_snr()} "
                  "(paper: the circuit integrator)"]
+        if self.curves:
+            for label, curve in self.curves.items():
+                lines += ["", f"{label} curve (errors / bits / "
+                              f"{curve.confidence:.0%} Wilson CI):",
+                          curve.format_table()]
         return "\n".join(lines)
 
 
@@ -65,7 +78,9 @@ def run_fig6(config: UwbConfig | None = None,
              quick: bool = True,
              circuit: WindowIntegrator | None = None,
              processes: int | None = None,
-             workers: int | None = None) -> Fig6Result:
+             workers: int | None = None,
+             adaptive: AdaptiveStopping | None = None,
+             store: ResultStore | None = None) -> Fig6Result:
     """Regenerate figure 6.
 
     Args:
@@ -79,6 +94,11 @@ def run_fig6(config: UwbConfig | None = None,
             (see :func:`repro.uwb.fastsim.ber_curve`; both curves use
             the same per-point seeding, so the paired comparison
             survives parallel execution).
+        adaptive: sequential per-point stopping policy; deep-SNR
+            points end once their Wilson bounds are resolved instead
+            of burning the whole ``max_bits`` budget.
+        store: result store for cached/resumable execution (the two
+            curves are checkpointed independently).
     """
     config = config or UwbConfig()
     bpf = BandPassFilter(WIDE_FRONT_END, config.fs)
@@ -90,16 +110,24 @@ def run_fig6(config: UwbConfig | None = None,
 
     # Paired noise: both scenarios draw from a generator seeded
     # identically, so the curves differ only by the integrator model.
-    runner = SweepRunner(processes=processes)
+    runner = CampaignRunner(processes=processes, store=store)
     for label, integrator in (("ideal", IdealIntegrator()),
                               ("circuit", circuit)):
+        params = dict(config=config, integrator=integrator,
+                      ebn0_grid=ebn0_grid, bpf=bpf,
+                      squarer_drive=BER_DRIVE, label=label,
+                      workers=workers, adaptive=adaptive, **budget)
+        # The worker count is an execution knob: any workers>1 yields
+        # identical spawned-stream results (see ber_curve), so only
+        # the serial/spawned seeding distinction enters the content
+        # address - re-running with a different fan-out stays cached.
+        key_params = dict(
+            params,
+            workers="spawned" if workers and workers > 1 else "serial")
         runner.add(Scenario(
             name=label, fn=ber_curve, seed=seed, rng_param="rng",
-            params=dict(config=config, integrator=integrator,
-                        ebn0_grid=ebn0_grid, bpf=bpf,
-                        squarer_drive=BER_DRIVE, label=label,
-                        workers=workers, **budget)))
+            params=params, key_params=key_params))
     curves = runner.run().by_name()
     return Fig6Result(comparison=compare_ber(curves["ideal"],
                                              curves["circuit"]),
-                      config=config, drive=BER_DRIVE)
+                      config=config, drive=BER_DRIVE, curves=curves)

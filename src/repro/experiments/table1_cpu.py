@@ -28,8 +28,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.store import ResultStore
 from repro.core.metrics import CpuTimeReport
-from repro.core.scenario import Scenario, SweepRunner
+from repro.core.scenario import Scenario
 from repro.uwb import UwbConfig
 from repro.uwb.bpf import BandPassFilter
 from repro.uwb.modulation import ppm_waveform, random_bits
@@ -134,7 +136,8 @@ def run_table1(config: UwbConfig | None = None,
                engine: str = "compiled",
                measure_reference: bool = True,
                speedup_repeats: int = 3,
-               processes: int | None = None) -> Table1Result:
+               processes: int | None = None,
+               store: ResultStore | None = None) -> Table1Result:
     """Regenerate table 1.
 
     Args:
@@ -150,13 +153,17 @@ def run_table1(config: UwbConfig | None = None,
         processes: fan the rows out over processes.  Defaults to serial
             execution, which is what a CPU-time comparison wants -
             parallel rows contend for cores and skew the table.
+        store: result store for cached/resumable execution.  Note that
+            cached rows report the *original* run's CPU time - exactly
+            what a bookkept measurement campaign wants, but pass
+            ``store=None`` (or clear the cache) to re-measure.
     """
     config = config or UwbConfig()
     n_symbols = max(2, int(round(simulated_time / config.symbol_period)))
     sig, tx_bits = make_table1_waveform(config, n_symbols, seed)
     span = n_symbols * config.symbol_period
 
-    runner = SweepRunner(processes=processes)
+    runner = CampaignRunner(processes=processes, store=store)
     for label, kind in MODEL_ROWS:
         runner.add(Scenario(
             name=label, fn=run_ams_receiver,
@@ -166,8 +173,12 @@ def run_table1(config: UwbConfig | None = None,
     if measure_reference and engine != "reference":
         for i in range(max(1, speedup_repeats)):
             for eng in ("reference", engine):
+                # cache=False: the repeats are independent timing
+                # samples; under a store their identical content would
+                # collapse onto one entry and fake the best-of-N.
                 runner.add(Scenario(
                     name=f"IDEAL/{eng}#{i}", fn=run_ams_receiver,
+                    cache=False,
                     params=dict(config=config, integrator="ideal",
                                 waveform=sig, t_stop=span, engine=eng)))
 

@@ -20,10 +20,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.store import ResultStore
 from repro.core.metrics import RangingComparison
+from repro.core.scenario import Scenario
 from repro.uwb import (
     EnergyDetectionReceiver,
     IdealIntegrator,
+    RangingResult,
     TwoWayRanging,
     UwbConfig,
 )
@@ -78,16 +82,39 @@ def make_twr(config: UwbConfig, integrator: WindowIntegrator,
         noise_sigma=noise_sigma, channel=channel)
 
 
+def run_twr_arm(integrator: WindowIntegrator, distance: float,
+                iterations: int, rng: np.random.Generator,
+                noise_sigma: float = TWR_NOISE_SIGMA) -> RangingResult:
+    """One integrator arm of the table-2 campaign (top-level so
+    scenario sweeps can fan it out and the campaign layer can cache
+    it by content)."""
+    config = UwbConfig(**TWR_CONFIG)
+    twr = make_twr(config, integrator, distance=distance,
+                   noise_sigma=noise_sigma)
+    return twr.run(iterations, rng)
+
+
 def run_table2(distance: float = 9.9, iterations: int = 10,
                seed: int = 42,
-               circuit: WindowIntegrator | None = None) -> Table2Result:
-    """Regenerate table 2 (10 iterations at 9.9 m by default)."""
-    config = UwbConfig(**TWR_CONFIG)
+               circuit: WindowIntegrator | None = None,
+               processes: int | None = None,
+               store: ResultStore | None = None) -> Table2Result:
+    """Regenerate table 2 (10 iterations at 9.9 m by default).
+
+    Both arms are seeded identically (same noise/channel draws) and
+    run as campaign scenarios, so they cache and fan out like every
+    other harness.
+    """
     circuit = circuit or CircuitSurrogateIntegrator()
-    comparison = RangingComparison()
+    runner = CampaignRunner(processes=processes, store=store)
     for label, integ in (("ideal", IdealIntegrator()), ("circuit", circuit)):
-        twr = make_twr(config, integ, distance=distance)
-        result = twr.run(iterations, np.random.default_rng(seed))
-        comparison.add(label, result)
+        runner.add(Scenario(
+            name=label, fn=run_twr_arm, seed=seed, rng_param="rng",
+            params=dict(integrator=integ, distance=distance,
+                        iterations=iterations)))
+    arms = runner.run().by_name()
+    comparison = RangingComparison()
+    for label in ("ideal", "circuit"):
+        comparison.add(label, arms[label])
     return Table2Result(comparison=comparison, distance=distance,
                         iterations=iterations)

@@ -38,10 +38,17 @@ from repro.uwb.adc import Adc
 from repro.uwb.frontend import Lna, Vga
 from repro.uwb.agc import Agc, TwoStageAgc
 from repro.uwb.receiver import EnergyDetectionReceiver, ReceiverResult
-from repro.uwb.fastsim import BerResult, ber_curve, simulate_ber_point
+from repro.uwb.fastsim import (
+    AdaptiveStopping,
+    BerResult,
+    ber_curve,
+    simulate_ber_point,
+    wilson_interval,
+)
 from repro.uwb.ranging import RangingResult, TwoWayRanging
 
 __all__ = [
+    "AdaptiveStopping",
     "Adc",
     "Agc",
     "AwgnChannel",
@@ -70,4 +77,5 @@ __all__ = [
     "random_bits",
     "sampled_pulse",
     "simulate_ber_point",
+    "wilson_interval",
 ]

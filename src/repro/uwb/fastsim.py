@@ -34,6 +34,86 @@ from repro.uwb.integrator import IdealIntegrator, WindowIntegrator
 from repro.uwb.modulation import ppm_waveform, random_bits
 
 
+def wilson_interval(errors: int, bits: int,
+                    confidence: float = 0.95) -> tuple[float, float]:
+    """Wilson score confidence interval of a bit-error probability.
+
+    The Wilson interval stays meaningful at the extremes Monte-Carlo
+    BER estimation lives in - zero observed errors still yields a
+    nonzero upper bound, which is exactly what an adaptive stopping
+    rule needs at deep SNR.
+
+    Args:
+        errors / bits: the error counters.
+        confidence: two-sided confidence level in (0, 1).
+
+    Returns:
+        ``(lower, upper)`` bounds on the error probability;
+        ``(0.0, 1.0)`` when no bits have been observed.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if bits < 0 or errors < 0 or errors > bits:
+        raise ValueError("need 0 <= errors <= bits")
+    if bits == 0:
+        return 0.0, 1.0
+    from scipy.special import ndtri
+
+    z = float(ndtri(0.5 + confidence / 2.0))
+    p = errors / bits
+    z2 = z * z
+    denom = 1.0 + z2 / bits
+    center = (p + z2 / (2.0 * bits)) / denom
+    half = (z / denom) * math.sqrt(p * (1.0 - p) / bits
+                                   + z2 / (4.0 * bits * bits))
+    lo = 0.0 if errors == 0 else max(0.0, center - half)
+    hi = 1.0 if errors == bits else min(1.0, center + half)
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class AdaptiveStopping:
+    """Sequential stop-when-resolved policy for Monte-Carlo BER points.
+
+    The fixed stopping rule of :func:`simulate_ber_point`
+    (``target_errors`` / ``max_bits``) wastes most of its symbol
+    budget at deep SNR, where the error count never reaches the
+    target.  This policy ends a point early once its estimate is
+    *resolved* in either of two ways, checked after every chunk:
+
+    * **precision**: at least ``min_errors`` errors have been counted
+      and the Wilson half-width has shrunk below ``rel_half_width``
+      times the estimate - the point is known accurately enough;
+    * **floor**: the Wilson *upper* bound has dropped below
+      ``ber_floor`` - the point is known to be below the BER of
+      interest, so counting further (possibly zero) errors is wasted
+      work.  ``0`` disables this exit.
+
+    Attributes:
+        confidence: two-sided confidence of the Wilson bounds.
+        rel_half_width: precision target, relative to the estimate.
+        min_errors: minimum error count before the precision exit is
+            trusted (guards against lucky early chunks).
+        ber_floor: BER resolution floor of the study.
+    """
+
+    confidence: float = 0.95
+    rel_half_width: float = 0.33
+    min_errors: int = 8
+    ber_floor: float = 0.0
+
+    def resolved(self, errors: int, bits: int) -> bool:
+        """Is ``errors/bits`` resolved under this policy?"""
+        if bits <= 0:
+            return False
+        lo, hi = wilson_interval(errors, bits, self.confidence)
+        if errors >= self.min_errors:
+            p = errors / bits
+            if (hi - lo) / 2.0 <= self.rel_half_width * p:
+                return True
+        return 0.0 < self.ber_floor and hi < self.ber_floor
+
+
 @dataclass
 class BerResult:
     """BER curve data.
@@ -43,6 +123,8 @@ class BerResult:
         ber: estimated bit-error rate per point.
         errors / bits: raw counters per point.
         label: legend label (integrator name by default).
+        ci_low / ci_high: Wilson confidence bounds per point.
+        confidence: confidence level of the bounds.
     """
 
     ebn0_db: np.ndarray
@@ -50,11 +132,28 @@ class BerResult:
     errors: np.ndarray
     bits: np.ndarray
     label: str = ""
+    ci_low: np.ndarray | None = None
+    ci_high: np.ndarray | None = None
+    confidence: float = 0.95
 
     def as_rows(self) -> list[tuple[float, float, int, int]]:
         return [(float(e), float(b), int(err), int(n))
                 for e, b, err, n in zip(self.ebn0_db, self.ber,
                                         self.errors, self.bits)]
+
+    def format_table(self) -> str:
+        """Per-point table including the Wilson bounds."""
+        lines = [f"{'Eb/N0':>7s} {'BER':>12s} {'errors':>8s} "
+                 f"{'bits':>9s} {'CI':>24s}"]
+        for i, (e, b) in enumerate(zip(self.ebn0_db, self.ber)):
+            ci = ""
+            if self.ci_low is not None and self.ci_high is not None:
+                ci = (f"[{self.ci_low[i]:.3e}, "
+                      f"{self.ci_high[i]:.3e}]")
+            lines.append(f"{e:>7.1f} {b:>12.4e} "
+                         f"{int(self.errors[i]):>8d} "
+                         f"{int(self.bits[i]):>9d} {ci:>24s}")
+        return "\n".join(lines)
 
 
 class _LinkCache:
@@ -98,6 +197,7 @@ def simulate_ber_point(config: UwbConfig, integrator: WindowIntegrator,
                        max_bits: int = 200_000,
                        min_bits: int = 2_000,
                        chunk_bits: int = 1_000,
+                       adaptive: AdaptiveStopping | None = None,
                        _cache: _LinkCache | None = None
                        ) -> tuple[int, int]:
     """Monte-Carlo BER at one Eb/N0 point.
@@ -114,6 +214,10 @@ def simulate_ber_point(config: UwbConfig, integrator: WindowIntegrator,
         adc: optional ADC in the decision path.
         target_errors / max_bits / min_bits: stopping rule.
         chunk_bits: symbols per vectorized chunk.
+        adaptive: optional sequential policy ending the point as soon
+            as the estimate is resolved (checked after each chunk once
+            ``min_bits`` have been simulated); ``target_errors`` /
+            ``max_bits`` remain hard caps.
 
     Returns:
         ``(errors, bits)`` counters.
@@ -129,6 +233,9 @@ def simulate_ber_point(config: UwbConfig, integrator: WindowIntegrator,
     bits_done = 0
     while bits_done < max_bits and (errors < target_errors
                                     or bits_done < min_bits):
+        if (adaptive is not None and bits_done >= min_bits
+                and adaptive.resolved(errors, bits_done)):
+            break
         n = min(chunk_bits, max_bits - bits_done)
         bits = random_bits(n, rng)
         wave = ppm_waveform(bits, config)
@@ -159,7 +266,8 @@ def ber_curve(config: UwbConfig, integrator: WindowIntegrator,
               max_bits: int = 200_000,
               min_bits: int = 2_000,
               label: str | None = None,
-              workers: int | None = None) -> BerResult:
+              workers: int | None = None,
+              adaptive: AdaptiveStopping | None = None) -> BerResult:
     """BER versus Eb/N0 for one integrator model (figure-6 workload).
 
     Args:
@@ -170,6 +278,9 @@ def ber_curve(config: UwbConfig, integrator: WindowIntegrator,
             stream spawned deterministically from *rng*, so results are
             reproducible for a given seed and worker-independent (but
             not identical to the serial noise realization).
+        adaptive: optional per-point sequential stopping policy (see
+            :class:`AdaptiveStopping`); the returned Wilson bounds use
+            its confidence level.
     """
     cache = _LinkCache(config, channel, bpf)
     ebn0_grid = np.asarray(ebn0_grid, dtype=float)
@@ -188,7 +299,7 @@ def ber_curve(config: UwbConfig, integrator: WindowIntegrator,
                             squarer_drive=squarer_drive, adc=adc,
                             target_errors=target_errors,
                             max_bits=max_bits, min_bits=min_bits,
-                            _cache=cache)))
+                            adaptive=adaptive, _cache=cache)))
         for i, result in enumerate(runner.run()):
             errors[i], bits[i] = result.value
     else:
@@ -197,12 +308,20 @@ def ber_curve(config: UwbConfig, integrator: WindowIntegrator,
                 config, integrator, float(point), rng, channel=channel,
                 bpf=bpf, squarer_drive=squarer_drive, adc=adc,
                 target_errors=target_errors, max_bits=max_bits,
-                min_bits=min_bits, _cache=cache)
+                min_bits=min_bits, adaptive=adaptive, _cache=cache)
             errors[i] = e
             bits[i] = b
     ber = errors / np.maximum(bits, 1)
+    confidence = adaptive.confidence if adaptive is not None else 0.95
+    bounds = np.array([wilson_interval(int(e), int(b), confidence)
+                       if b else (0.0, 1.0)
+                       for e, b in zip(errors, bits)])
+    ci_low = bounds[:, 0] if len(bounds) else np.zeros(0)
+    ci_high = bounds[:, 1] if len(bounds) else np.zeros(0)
     return BerResult(ebn0_db=ebn0_grid, ber=ber, errors=errors, bits=bits,
-                     label=label or integrator.name)
+                     label=label or integrator.name,
+                     ci_low=ci_low, ci_high=ci_high,
+                     confidence=confidence)
 
 
 def theoretical_ppm_awgn_ber(ebn0_db) -> np.ndarray:

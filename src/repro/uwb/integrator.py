@@ -146,6 +146,15 @@ class TwoPoleIntegrator(WindowIntegrator):
         """The equivalent ideal integration constant ``G * 2 pi fp1``."""
         return self.gain * 2.0 * math.pi * self.fp1_hz
 
+    def __getstate__(self) -> dict:
+        # The lazily-built filter cache is derived state: dropping it
+        # keeps pickles small for process fan-out and, more
+        # importantly, keeps the campaign content hash of a model
+        # independent of whether it has been run yet.
+        state = dict(self.__dict__)
+        state["_filter_cache"] = {}
+        return state
+
     def _coeffs(self, dt: float) -> tuple[np.ndarray, np.ndarray]:
         try:
             return self._filter_cache[dt]

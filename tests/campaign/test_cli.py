@@ -1,0 +1,95 @@
+"""The ``python -m repro`` command line (in-process via cli.main)."""
+
+import numpy as np
+import pytest
+
+from repro.campaign.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestCacheCommands:
+    def test_ls_empty(self, tmp_path, capsys):
+        code, out = run_cli(capsys, "cache", "ls",
+                            "--cache-dir", str(tmp_path))
+        assert code == 0 and "empty" in out
+
+    def test_clear_empty(self, tmp_path, capsys):
+        code, out = run_cli(capsys, "cache", "clear",
+                            "--cache-dir", str(tmp_path))
+        assert code == 0 and "removed 0" in out
+
+    def test_report_without_runs(self, tmp_path, capsys):
+        code, out = run_cli(capsys, "report",
+                            "--cache-dir", str(tmp_path))
+        assert code == 1 and "no saved reports" in out
+
+    def test_report_rejects_unknown_experiment(self, tmp_path, capsys):
+        code, out = run_cli(capsys, "report", "nope",
+                            "--cache-dir", str(tmp_path))
+        assert code == 2 and "unknown experiment" in out
+
+
+class TestRunCommand:
+    def test_run_table2_twice_hits_cache(self, tmp_path, capsys):
+        argv = ("run", "table2", "--fast",
+                "--cache-dir", str(tmp_path))
+        code, first = run_cli(capsys, *argv)
+        assert code == 0
+        assert "Table 2 - TWR" in first
+        assert "executed=2 cached=0" in first
+        code, second = run_cli(capsys, *argv)
+        assert code == 0
+        assert "executed=0 cached=2" in second
+        # identical report modulo the campaign accounting line
+        strip = lambda text: "\n".join(
+            l for l in text.splitlines() if not l.startswith("campaign["))
+        assert strip(first) == strip(second)
+
+    def test_run_populates_cache_and_report(self, tmp_path, capsys):
+        run_cli(capsys, "run", "table2", "--fast",
+                "--cache-dir", str(tmp_path))
+        code, out = run_cli(capsys, "cache", "ls",
+                            "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "run_twr_arm" in out and "2 results" in out
+        code, out = run_cli(capsys, "report", "table2",
+                            "--cache-dir", str(tmp_path))
+        assert code == 0 and "Table 2 - TWR" in out
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        code, out = run_cli(capsys, "run", "table2", "--fast",
+                            "--no-cache", "--cache-dir", str(tmp_path))
+        assert code == 0 and "uncached" in out
+        code, out = run_cli(capsys, "cache", "ls",
+                            "--cache-dir", str(tmp_path))
+        assert "empty" in out
+
+    def test_seed_override_changes_results(self, tmp_path, capsys):
+        _, a = run_cli(capsys, "run", "table2", "--fast", "--seed", "1",
+                       "--cache-dir", str(tmp_path / "a"))
+        _, b = run_cli(capsys, "run", "table2", "--fast", "--seed", "2",
+                       "--cache-dir", str(tmp_path / "b"))
+        # different seeds must not share cache entries
+        assert "executed=2" in a and "executed=2" in b
+
+    def test_module_invocation(self, tmp_path):
+        """python -m repro works end-to-end (the acceptance path)."""
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src") + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "table2", "--fast",
+             "--cache-dir", str(tmp_path)],
+            capture_output=True, text=True, timeout=300, env=env)
+        assert proc.returncode == 0, proc.stderr
+        assert "campaign[table2]" in proc.stdout

@@ -137,6 +137,61 @@ class TestSweepRunner:
         assert "a" in report.format_table()
 
 
+class TestSweepReportJson:
+    def build_report(self):
+        runner = SweepRunner()
+        for n in (4, 8):
+            runner.add(Scenario(name=f"bits{n}", fn=random_bits, seed=5,
+                                rng_param="rng", params={"n": n}))
+        return runner.run()
+
+    def test_round_trip(self):
+        report = self.build_report()
+        back = SweepReport.from_json(report.to_json())
+        assert len(back) == len(report)
+        for a, b in zip(report, back):
+            assert a.name == b.name
+            assert np.array_equal(a.value, b.value)
+            assert a.wall_time == b.wall_time
+            assert b.scenario.fn is random_bits
+            assert b.scenario.params == {"n": a.params["n"]}
+
+    def test_round_trip_preserves_seeds(self):
+        runner = SweepRunner.sweep(
+            "g", random_bits, axes={"n": [4, 8]}, base_seed=3,
+            rng_param="rng")
+        report = runner.run()
+        back = SweepReport.from_json(report.to_json())
+        # decoded scenarios re-run to identical draws
+        for orig, dec in zip(report, back):
+            assert np.array_equal(dec.scenario.run(), orig.value)
+
+    def test_json_is_plain_text(self):
+        import json
+
+        payload = json.loads(self.build_report().to_json(indent=2))
+        assert payload["format"] == SweepReport.JSON_FORMAT
+        assert len(payload["results"]) == 2
+
+    def test_format_version_checked(self):
+        with pytest.raises(ValueError):
+            SweepReport.from_json('{"format": "bogus", "results": []}')
+
+    def test_lambda_report_rejected(self):
+        from repro.core.serialization import UnserializableError
+
+        report = SweepRunner([Scenario(name="l", fn=lambda: 1)]).run()
+        with pytest.raises(UnserializableError):
+            report.to_json()
+
+    def test_cached_flag_round_trips(self):
+        report = self.build_report()
+        report.results[0].cached = True
+        back = SweepReport.from_json(report.to_json())
+        assert back.results[0].cached is True
+        assert back.results[1].cached is False
+
+
 class TestBerCurveWorkers:
     BUDGET = dict(target_errors=15, max_bits=2000, min_bits=400)
 

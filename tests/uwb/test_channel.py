@@ -27,6 +27,33 @@ class TestPathLoss:
     def test_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             path_loss_db(0.0)
+        with pytest.raises(ValueError):
+            path_loss_db(-3.0)
+
+    def test_sub_meter_distance_below_reference(self):
+        """The power law extrapolates below 1 m: PL < PL0, still
+        finite."""
+        pl = path_loss_db(0.1)
+        assert pl == pytest.approx(43.9 - 10 * 1.79)
+        assert math.isfinite(pl)
+
+    def test_monotone_in_distance(self):
+        distances = [0.5, 1.0, 2.0, 5.0, 9.9, 20.0]
+        losses = [path_loss_db(d) for d in distances]
+        assert losses == sorted(losses)
+        assert len(set(losses)) == len(losses)
+
+    def test_custom_parameters(self):
+        from repro.uwb.channel.ieee802154a import (
+            SalehValenzuelaParameters,
+        )
+        import dataclasses
+
+        params = dataclasses.replace(CM1_PARAMETERS, pl0_db=50.0,
+                                     pl_exponent=2.0)
+        assert path_loss_db(1.0, params) == pytest.approx(50.0)
+        assert path_loss_db(10.0, params) == pytest.approx(70.0)
+        assert isinstance(params, SalehValenzuelaParameters)
 
 
 class TestCm1Realizations:
@@ -93,6 +120,35 @@ class TestCm1Realizations:
         a = chan.realize(9.9, np.random.default_rng(7)).taps
         b = chan.realize(9.9, np.random.default_rng(7)).taps
         assert np.array_equal(a, b)
+
+    def test_seed_reproducibility_full_realization(self):
+        """Same seed => the *entire* realization is identical (taps,
+        delay, rate, distance), including across channel instances -
+        the property the campaign layer's content addressing leans
+        on."""
+        a = Cm1Channel(20e9).realize(9.9, np.random.default_rng(123))
+        b = Cm1Channel(20e9).realize(9.9, np.random.default_rng(123))
+        assert np.array_equal(a.taps, b.taps)
+        assert a.delay_samples == b.delay_samples
+        assert a.fs == b.fs and a.distance == b.distance
+        # and the realizations behave identically end to end
+        x = np.random.default_rng(0).normal(size=64)
+        assert np.array_equal(a.apply(x), b.apply(x))
+
+    def test_different_seeds_differ(self):
+        chan = Cm1Channel(20e9)
+        a = chan.realize(9.9, np.random.default_rng(7)).taps
+        b = chan.realize(9.9, np.random.default_rng(8)).taps
+        assert not np.array_equal(a, b)
+
+    def test_shared_generator_advances(self):
+        """Two draws from one generator are distinct realizations (the
+        stream advances), unlike two freshly seeded generators."""
+        chan = Cm1Channel(20e9)
+        rng = np.random.default_rng(7)
+        a = chan.realize(9.9, rng).taps
+        b = chan.realize(9.9, rng).taps
+        assert not np.array_equal(a, b)
 
     def test_distance_validation(self):
         chan = Cm1Channel(20e9)
