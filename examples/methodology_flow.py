@@ -17,15 +17,10 @@ import numpy as np
 
 from repro.core import Phase, RefinementFlow
 from repro.core.metrics import CpuTimeReport
+from repro.link import LinkSpec, build_bpf, ops
 from repro.uwb import UwbConfig
-from repro.uwb.bpf import BandPassFilter
-from repro.uwb.integrator import (
-    CircuitSurrogateIntegrator,
-    IdealIntegrator,
-    TwoPoleIntegrator,
-)
+from repro.uwb.integrator import IdealIntegrator, TwoPoleIntegrator
 from repro.uwb.modulation import ppm_waveform, random_bits
-from repro.uwb.system import run_ams_receiver
 
 
 SMOKE = os.environ.get("REPRO_SMOKE") == "1"
@@ -33,17 +28,19 @@ SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 def main() -> None:
     config = UwbConfig()
+    spec = LinkSpec(config=config)
     rng = np.random.default_rng(3)
     tx_bits = random_bits(6 if SMOKE else 12, rng)
     wave = ppm_waveform(tx_bits, config)
     wave = wave + rng.normal(0.0, 0.02, len(wave))
-    bpf = BandPassFilter.for_pulse(config.fs, config.pulse_tau,
-                                   config.pulse_order)
-    sig = bpf(wave)
+    sig = build_bpf(spec)(wave)
     sig = 0.25 * sig / np.max(np.abs(sig))
 
     def testbench(impls):
-        return run_ams_receiver(config, impls["integrate_dump"], sig)
+        # The flow's chosen implementation substitutes into the spec's
+        # slot - the registry override of the one front door.
+        return ops.run_testbench(spec, sig,
+                                 integrator=impls["integrate_dump"])
 
     flow = RefinementFlow(testbench)
     flow.register("integrate_dump", Phase.II, IdealIntegrator,

@@ -17,8 +17,8 @@ import sys
 import numpy as np
 
 from repro.experiments import run_agc_ablation, run_table2
-from repro.experiments.table2_twr import TWR_CONFIG, make_twr
-from repro.uwb import IdealIntegrator, UwbConfig
+from repro.experiments.table2_twr import TWR_NOISE_SIGMA, twr_spec
+from repro.link import ops
 
 SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
@@ -37,12 +37,14 @@ def main() -> None:
     print()
 
     # Distance sweep with the ideal integrator: ranging degrades
-    # gracefully with path loss.
-    config = UwbConfig(**TWR_CONFIG)
+    # gracefully with path loss.  Each point is the same LinkSpec with
+    # only the channel distance changed.
     print("Distance sweep (ideal integrator):")
     for d in (3.0, 9.9) if SMOKE else (3.0, 6.0, 9.9):
-        twr = make_twr(config, IdealIntegrator(), distance=d)
-        res = twr.run(2 if SMOKE else 6, np.random.default_rng(1))
+        spec = twr_spec(d, integrator="ideal")
+        res = ops.ranging(spec, 2 if SMOKE else 6,
+                          np.random.default_rng(1),
+                          noise_sigma=TWR_NOISE_SIGMA)
         print(f"  {d:5.1f} m -> mean {res.mean:6.2f} m, "
               f"std {res.std:5.2f} m")
 

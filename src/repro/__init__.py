@@ -20,10 +20,15 @@ Subpackages
     The UWB energy-detection transceiver substrate: pulses, 2-PPM
     packets, IEEE 802.15.4a CM1 channel, front end, AGC, synchronizer,
     demodulator, two-way ranging, and a vectorized BER engine.
+``repro.link``
+    The one front door: declarative ``LinkSpec`` + pluggable
+    ``Backend`` (vectorized golden model / AMS-kernel testbench) with
+    integrator selection routed through the model registry.
 ``repro.experiments``
-    Harnesses that regenerate every table and figure of the paper.
+    Harnesses that regenerate every table and figure of the paper,
+    self-registered for ``python -m repro run``.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

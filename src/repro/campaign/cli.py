@@ -1,10 +1,11 @@
 """``python -m repro`` - the unified campaign command line.
 
-Drives every experiment harness through the campaign layer, so runs
-are cached, resumable and scriptable:
+Drives every *registered* experiment through the campaign layer, so
+runs are cached, resumable and scriptable:
 
 .. code-block:: text
 
+    python -m repro run --list               # discover experiments
     python -m repro run fig6 --fast          # figure 6, quick budget
     python -m repro run table1 --processes 1 # table 1 (serial timing)
     python -m repro run fig5 table2          # several experiments
@@ -13,12 +14,14 @@ are cached, resumable and scriptable:
     python -m repro cache clear              # drop stored results
     python -m repro report                   # re-print saved reports
 
-Common flags: ``--fast`` (default) / ``--full`` select the
-Monte-Carlo budget, ``--processes`` fans scenarios out over a process
-pool, ``--seed`` overrides the experiment's default seed, and
-``--cache-dir`` / ``--no-cache`` control the result store.  Re-running
-a completed campaign executes zero scenarios; an interrupted campaign
-resumes from its checkpoints.
+Experiments self-register via the ``@experiment`` decorator in
+:mod:`repro.experiments.registry`; adding a harness module makes it
+runnable here with no CLI change.  Common flags: ``--fast`` (default)
+/ ``--full`` select the Monte-Carlo budget, ``--processes`` fans
+scenarios out over a process pool, ``--seed`` overrides the
+experiment's default seed, and ``--cache-dir`` / ``--no-cache``
+control the result store.  Re-running a completed campaign executes
+zero scenarios; an interrupted campaign resumes from its checkpoints.
 """
 
 from __future__ import annotations
@@ -26,94 +29,16 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Any, Callable
 
-from repro.campaign.store import ResultStore, default_cache_dir
-
-#: experiments the ``run`` subcommand knows, in menu order.
-EXPERIMENTS = ("fig6", "table1", "fig5", "table2", "ablations")
+from repro.campaign.store import ResultStore
 
 
-def _seeded(kwargs: dict[str, Any], args: argparse.Namespace,
-            name: str = "seed") -> dict[str, Any]:
-    if args.seed is not None:
-        kwargs[name] = args.seed
-    return kwargs
+def _registry():
+    """Experiment discovery, deferred so ``cache``/``report`` commands
+    stay import-light."""
+    from repro.experiments.registry import all_experiments
 
-
-def _run_fig6(args: argparse.Namespace,
-              store: ResultStore | None) -> str:
-    from repro.experiments import run_fig6
-    from repro.uwb.fastsim import AdaptiveStopping
-
-    # Adaptive Monte-Carlo: deep-SNR points stop once their Wilson
-    # upper bound resolves below the study's floor instead of burning
-    # the full symbol budget.
-    adaptive = AdaptiveStopping(ber_floor=1e-4 if not args.full else 1e-5)
-    result = run_fig6(quick=not args.full, workers=args.processes,
-                      adaptive=adaptive, store=store,
-                      **_seeded({}, args))
-    return result.format_report()
-
-
-def _run_table1(args: argparse.Namespace,
-                store: ResultStore | None) -> str:
-    from repro.experiments import run_table1
-
-    # measure_reference repeats are uncacheable timing samples; skip
-    # them here so a completed table-1 campaign re-runs with zero
-    # executions (benchmarks/ still track the engine speedup).
-    result = run_table1(simulated_time=2e-6 if args.full else 1e-6,
-                        processes=args.processes,
-                        measure_reference=False, store=store,
-                        **_seeded({}, args))
-    return result.format_report()
-
-
-def _run_fig5(args: argparse.Namespace,
-              store: ResultStore | None) -> str:
-    from repro.experiments import run_fig5_drive_sweep
-
-    results = run_fig5_drive_sweep(dt=0.2e-9 if args.full else 0.4e-9,
-                                   processes=args.processes, store=store)
-    return "\n\n".join(r.format_report() for r in results)
-
-
-def _run_table2(args: argparse.Namespace,
-                store: ResultStore | None) -> str:
-    from repro.experiments import run_table2
-
-    result = run_table2(iterations=30 if args.full else 10,
-                        processes=args.processes, store=store,
-                        **_seeded({}, args))
-    return result.format_report()
-
-
-def _run_ablations(args: argparse.Namespace,
-                   store: ResultStore | None) -> str:
-    from repro.experiments import (
-        run_agc_ablation,
-        run_noise_shaping_ablation,
-    )
-
-    agc = run_agc_ablation(iterations=20 if args.full else 10,
-                           processes=args.processes, store=store,
-                           **_seeded({}, args))
-    shaping = run_noise_shaping_ablation(quick=not args.full,
-                                         processes=args.processes,
-                                         store=store,
-                                         **_seeded({}, args))
-    return agc.format_report() + "\n\n" + shaping.format_report()
-
-
-_RUNNERS: dict[str, Callable[[argparse.Namespace,
-                              ResultStore | None], str]] = {
-    "fig6": _run_fig6,
-    "table1": _run_table1,
-    "fig5": _run_fig5,
-    "table2": _run_table2,
-    "ablations": _run_ablations,
-}
+    return {e.name: e for e in all_experiments()}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,9 +50,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser(
         "run", help="run experiment campaigns through the result store")
-    run_p.add_argument("experiments", nargs="+", choices=EXPERIMENTS,
-                       metavar="experiment",
-                       help=f"one or more of: {', '.join(EXPERIMENTS)}")
+    # No choices= here: the registry is discovered lazily; unknown
+    # names are validated in cmd_run (and --list needs no names).
+    run_p.add_argument("experiments", nargs="*", metavar="experiment",
+                       help="registered experiment names "
+                            "(see --list)")
+    run_p.add_argument("--list", action="store_true", dest="list_only",
+                       help="list registered experiments and exit")
     budget = run_p.add_mutually_exclusive_group()
     budget.add_argument("--fast", action="store_true", default=True,
                         help="quick Monte-Carlo budgets (default)")
@@ -150,8 +79,6 @@ def build_parser() -> argparse.ArgumentParser:
 
     report_p = sub.add_parser(
         "report", help="print the saved report of past runs")
-    # no choices= here: argparse would reject the empty default of
-    # nargs="*"; unknown names are validated in cmd_report instead.
     report_p.add_argument("experiments", nargs="*", metavar="experiment",
                           help="limit to these experiments (default: all)")
     _add_cache_flags(report_p)
@@ -168,11 +95,37 @@ def _make_store(args: argparse.Namespace) -> ResultStore:
     return ResultStore(args.cache_dir)
 
 
+def cmd_list() -> int:
+    experiments = _registry()
+    print("registered experiments:")
+    for exp in experiments.values():
+        print(f"  {exp.name:<12s} {exp.description}")
+    print(f"{len(experiments)} experiments "
+          "(run with: python -m repro run <name>)")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.list_only:
+        return cmd_list()
+    if not args.experiments:
+        print("no experiments given (try: python -m repro run --list)")
+        return 2
+    experiments = _registry()
+    unknown = sorted(set(args.experiments) - set(experiments))
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)} "
+              f"(choose from {', '.join(experiments)})")
+        return 2
+    from repro.experiments.registry import ExperimentContext
+
     store = None if getattr(args, "no_cache", False) else _make_store(args)
     for name in args.experiments:
+        ctx = ExperimentContext(full=args.full,
+                                processes=args.processes,
+                                seed=args.seed, store=store)
         start = time.perf_counter()
-        text = _RUNNERS[name](args, store)
+        text = experiments[name].run(ctx)
         elapsed = time.perf_counter() - start
         print(text)
         if store is not None:
@@ -214,11 +167,13 @@ def cmd_cache(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     store = _make_store(args)
     wanted = [e for e in args.experiments if e]
-    unknown = sorted(set(wanted) - set(EXPERIMENTS))
-    if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)} "
-              f"(choose from {', '.join(EXPERIMENTS)})")
-        return 2
+    if wanted:
+        known = set(_registry())
+        unknown = sorted(set(wanted) - known)
+        if unknown:
+            print(f"unknown experiment(s): {', '.join(unknown)} "
+                  f"(choose from {', '.join(sorted(known))})")
+            return 2
     found = False
     for name, text in store.load_reports():
         if wanted and name not in wanted:

@@ -63,16 +63,21 @@ class ModelRegistry:
         self._bindings[key] = binding
         return binding
 
-    def create(self, block: str, phase: Phase | int) -> Any:
-        """Instantiate the implementation of *block* at *phase*."""
+    def binding(self, block: str, phase: Phase | int) -> Binding:
+        """The :class:`Binding` of *block* at *phase* (for callers that
+        need the factory itself, e.g. to pass construction parameters)."""
         phase = Phase(phase)
         try:
-            return self._bindings[(block, phase)].factory()
+            return self._bindings[(block, phase)]
         except KeyError:
             available = self.phases_of(block)
             raise KeyError(
                 f"no {phase} binding for block {block!r}; available: "
                 f"{[str(p) for p in available]}") from None
+
+    def create(self, block: str, phase: Phase | int) -> Any:
+        """Instantiate the implementation of *block* at *phase*."""
+        return self.binding(block, phase).factory()
 
     def phases_of(self, block: str) -> list[Phase]:
         """Phases that have a binding for *block*, in order."""

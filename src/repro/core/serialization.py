@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import base64
 import dataclasses
+import enum
 import hashlib
 import importlib
 import inspect
@@ -43,7 +44,7 @@ class UnserializableError(TypeError):
 
 _TAGS = ("__tuple__", "__set__", "__complex__", "__bytes__",
          "__ndarray__", "__npz__", "__dataclass__", "__callable__",
-         "__seedseq__", "__pickle__", "__map__")
+         "__enum__", "__seedseq__", "__pickle__", "__map__")
 
 
 def callable_spec(fn: Any) -> str:
@@ -108,6 +109,12 @@ def to_jsonable(value: Any,
             payload); if ``None``, arrays are inlined as base64 so the
             JSON document is self-contained.
     """
+    # Enum members must be caught before the primitive check: an
+    # IntEnum *is* an int, but decaying it to one would lose the type
+    # (e.g. a Phase selection inside a LinkSpec).
+    if isinstance(value, enum.Enum):
+        return {"__enum__": callable_spec(type(value)),
+                "value": to_jsonable(value.value, arrays)}
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, np.ndarray):
@@ -205,6 +212,9 @@ def from_jsonable(obj: Any,
             object.__setattr__(instance, name,
                                from_jsonable(encoded, arrays))
         return instance
+    if "__enum__" in obj:
+        cls = resolve_callable(obj["__enum__"])
+        return cls(from_jsonable(obj["value"], arrays))
     if "__callable__" in obj:
         return resolve_callable(obj["__callable__"])
     if "__pickle__" in obj:

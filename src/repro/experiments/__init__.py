@@ -6,8 +6,22 @@ pytest-benchmark targets, and the ``examples/`` scripts call them
 directly.  Each accepts a ``quick`` flag that trades Monte-Carlo depth
 for runtime (benchmarks default to quick settings; pass ``quick=False``
 for paper-scale runs).
+
+Each module additionally registers a CLI adapter with the
+:func:`repro.experiments.registry.experiment` decorator, so
+``python -m repro run <name>`` / ``--list`` discover experiments here
+instead of hard-coding them - importing this package *is* the
+discovery step.
 """
 
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentContext,
+    all_experiments,
+    experiment,
+    experiment_names,
+    get_experiment,
+)
 from repro.experiments.fig4_ac import Fig4Result, run_fig4
 from repro.experiments.fig5_transient import (
     Fig5Result,
@@ -27,6 +41,8 @@ from repro.experiments.ablations import (
 
 __all__ = [
     "AgcAblationResult",
+    "Experiment",
+    "ExperimentContext",
     "Fig4Result",
     "Fig5Result",
     "Fig6Result",
@@ -34,6 +50,10 @@ __all__ = [
     "Phase1Result",
     "Table1Result",
     "Table2Result",
+    "all_experiments",
+    "experiment",
+    "experiment_names",
+    "get_experiment",
     "run_agc_ablation",
     "run_fig4",
     "run_fig5",

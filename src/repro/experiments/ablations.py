@@ -17,28 +17,10 @@ import numpy as np
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.store import ResultStore
 from repro.core.scenario import Scenario
-from repro.experiments.table2_twr import (
-    TWR_DETECTION_FACTOR,
-    TWR_NOISE_SIGMA,
-    TWR_TOA_FRACTION,
-    TWR_CONFIG,
-)
-from repro.uwb import (
-    EnergyDetectionReceiver,
-    IdealIntegrator,
-    TwoStageAgc,
-    TwoWayRanging,
-    UwbConfig,
-    ber_curve,
-)
-from repro.uwb.adc import Adc
-from repro.uwb.bpf import BandPassFilter
-from repro.uwb.channel import Cm1Channel
-from repro.uwb.frontend import Vga
-from repro.uwb.integrator import (
-    CircuitSurrogateIntegrator,
-    TwoPoleIntegrator,
-)
+from repro.experiments.registry import ExperimentContext, experiment
+from repro.experiments.table2_twr import TWR_NOISE_SIGMA, twr_spec
+from repro.link import FrontEndSpec, LinkSpec, ops
+from repro.uwb import UwbConfig
 from repro.uwb.ranging import RangingResult
 
 
@@ -67,31 +49,13 @@ class AgcAblationResult:
         ])
 
 
-def _run_twr_arm(two_stage: bool, distance: float, iterations: int,
-                 rng: np.random.Generator) -> RangingResult:
-    """One AGC-policy arm of the ablation (top-level so scenario sweeps
-    can fan it out over processes)."""
-    config = UwbConfig(**TWR_CONFIG)
-    channel = Cm1Channel(config.fs)
-    integrator = CircuitSurrogateIntegrator()
-
-    def make() -> EnergyDetectionReceiver:
-        vga = Vga(step_db=config.agc_steps_db,
-                  max_db=config.agc_range_db)
-        adc = Adc(bits=config.adc_bits, vref=config.adc_vref)
-        agc = None
-        if two_stage:
-            agc = TwoStageAgc(vga, adc, integrator.ideal_k,
-                              amp_target=0.06)
-        return EnergyDetectionReceiver(
-            config, integrator, vga=vga, adc=adc, agc=agc,
-            toa_threshold_fraction=TWR_TOA_FRACTION,
-            detection_factor=TWR_DETECTION_FACTOR)
-
-    twr = TwoWayRanging(config, make, distance=distance,
-                        tx_amplitude=1.0, noise_sigma=TWR_NOISE_SIGMA,
-                        channel=channel)
-    return twr.run(iterations, rng)
+def _agc_spec(distance: float, two_stage: bool) -> "LinkSpec":
+    """The ablation link: the table-2 operating point with the circuit
+    integrator under the selected AGC policy."""
+    spec = twr_spec(distance, integrator="circuit")
+    if two_stage:
+        spec = spec.with_frontend(agc="two_stage", agc_amp_target=0.06)
+    return spec
 
 
 def run_agc_ablation(distance: float = 9.9, iterations: int = 10,
@@ -103,9 +67,10 @@ def run_agc_ablation(distance: float = 9.9, iterations: int = 10,
     runner = CampaignRunner(processes=processes, store=store)
     for label, two_stage in (("single", False), ("two_stage", True)):
         runner.add(Scenario(
-            name=label, fn=_run_twr_arm, seed=seed, rng_param="rng",
-            params=dict(two_stage=two_stage, distance=distance,
-                        iterations=iterations)))
+            name=label, fn=ops.ranging, seed=seed, rng_param="rng",
+            params=dict(spec=_agc_spec(distance, two_stage),
+                        iterations=iterations,
+                        noise_sigma=TWR_NOISE_SIGMA)))
     arms = runner.run().by_name()
     return AgcAblationResult(single_stage=arms["single"],
                              two_stage=arms["two_stage"])
@@ -139,26 +104,28 @@ def run_noise_shaping_ablation(ebn0_db: float = 12.0,
                                ) -> NoiseShapingResult:
     """BER versus the model's second pole, paired against the ideal
     integrator (every arm shares the seed, hence the noise)."""
-    config = UwbConfig()
-    bpf = BandPassFilter((2.0e9, 9.0e9), config.fs)
     if quick:
         budget = dict(target_errors=80, max_bits=60_000, min_bits=4_000)
     else:
         budget = dict(target_errors=300, max_bits=600_000,
                       min_bits=40_000)
+    base = LinkSpec(config=UwbConfig(),
+                    frontend=FrontEndSpec(band=(2.0e9, 9.0e9)))
 
     runner = CampaignRunner(processes=processes, store=store)
     runner.add(Scenario(
-        name="ideal", fn=ber_curve, seed=seed, rng_param="rng",
-        params=dict(config=config, integrator=IdealIntegrator(),
-                    ebn0_grid=[ebn0_db], bpf=bpf, **budget)))
+        name="ideal", fn=ops.ber_curve, seed=seed, rng_param="rng",
+        params=dict(spec=base.with_(integrator="ideal"),
+                    ebn0_grid=[ebn0_db], **budget)))
     for fp2 in fp2_grid:
         runner.add(Scenario(
-            name=f"fp2={float(fp2):g}", fn=ber_curve, seed=seed,
+            name=f"fp2={float(fp2):g}", fn=ops.ber_curve, seed=seed,
             rng_param="rng",
-            params=dict(config=config,
-                        integrator=TwoPoleIntegrator(fp2_hz=float(fp2)),
-                        ebn0_grid=[ebn0_db], bpf=bpf, **budget)))
+            params=dict(
+                spec=base.with_(
+                    integrator="two_pole",
+                    integrator_params={"fp2_hz": float(fp2)}),
+                ebn0_grid=[ebn0_db], **budget)))
     # Consume positionally: results come back in submission order, so
     # fp2 values that format to the same label cannot collapse.
     curves = runner.run().values()
@@ -167,3 +134,17 @@ def run_noise_shaping_ablation(ebn0_db: float = 12.0,
                               ber_ideal=float(curves[0].ber[0]),
                               ber_shaped=np.asarray(shaped),
                               ebn0_db=float(ebn0_db))
+
+
+@experiment("ablations", order=50,
+            description="Two-stage AGC fix + noise-shaping second-pole "
+                        "sweep")
+def ablations_experiment(ctx: ExperimentContext) -> str:
+    agc = run_agc_ablation(iterations=20 if ctx.full else 10,
+                           processes=ctx.processes, store=ctx.store,
+                           **ctx.seed_kwargs())
+    shaping = run_noise_shaping_ablation(quick=not ctx.full,
+                                         processes=ctx.processes,
+                                         store=ctx.store,
+                                         **ctx.seed_kwargs())
+    return agc.format_report() + "\n\n" + shaping.format_report()

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.circuits import IntegrateDumpDesign, default_design
 from repro.core.characterize import TwoPoleFit, characterize_integrator
+from repro.experiments.registry import ExperimentContext, experiment
 
 
 @dataclass
@@ -66,3 +67,11 @@ def run_fig4(design: IntegrateDumpDesign | None = None,
     model_mag = fit.magnitude_db(freqs)
     return Fig4Result(freqs=freqs, circuit_mag_db=mag_db,
                       model_mag_db=model_mag, fit=fit)
+
+
+@experiment("fig4", order=80,
+            description="Integrator AC response: circuit netlist vs "
+                        "the extracted two-pole model")
+def fig4_experiment(ctx: ExperimentContext) -> str:
+    result = run_fig4(points_per_decade=16 if ctx.full else 10)
+    return result.format_report()

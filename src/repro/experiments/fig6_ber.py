@@ -17,14 +17,11 @@ from repro.campaign.runner import CampaignRunner
 from repro.campaign.store import ResultStore
 from repro.core.metrics import BerComparison, compare_ber
 from repro.core.scenario import Scenario
-from repro.uwb import UwbConfig, ber_curve
-from repro.uwb.bpf import BandPassFilter
+from repro.experiments.registry import ExperimentContext, experiment
+from repro.link import FrontEndSpec, LinkSpec, ops
+from repro.uwb import UwbConfig
 from repro.uwb.fastsim import AdaptiveStopping
-from repro.uwb.integrator import (
-    CircuitSurrogateIntegrator,
-    IdealIntegrator,
-    WindowIntegrator,
-)
+from repro.uwb.integrator import WindowIntegrator
 
 #: Wide receiver front end: squared noise extends past the integrator's
 #: second pole, activating the noise-shaping mechanism the paper cites.
@@ -88,12 +85,12 @@ def run_fig6(config: UwbConfig | None = None,
             runs use ``quick=False``.
         circuit: override the circuit model (e.g. a
             :func:`repro.core.characterize.build_surrogate` extraction);
-            default is the analytic surrogate.
+            default is the registry's analytic surrogate.
         processes: fan the two curves out over processes.
         workers: fan the Eb/N0 points of each curve out over processes
-            (see :func:`repro.uwb.fastsim.ber_curve`; both curves use
-            the same per-point seeding, so the paired comparison
-            survives parallel execution).
+            (see the fastsim backend; both curves use the same
+            per-point seeding, so the paired comparison survives
+            parallel execution).
         adaptive: sequential per-point stopping policy; deep-SNR
             points end once their Wilson bounds are resolved instead
             of burning the whole ``max_bits`` budget.
@@ -101,33 +98,51 @@ def run_fig6(config: UwbConfig | None = None,
             curves are checkpointed independently).
     """
     config = config or UwbConfig()
-    bpf = BandPassFilter(WIDE_FRONT_END, config.fs)
     if quick:
         budget = dict(target_errors=60, max_bits=40_000, min_bits=2_000)
     else:
         budget = dict(target_errors=200, max_bits=400_000, min_bits=20_000)
-    circuit = circuit or CircuitSurrogateIntegrator()
 
     # Paired noise: both scenarios draw from a generator seeded
     # identically, so the curves differ only by the integrator model.
     runner = CampaignRunner(processes=processes, store=store)
-    for label, integrator in (("ideal", IdealIntegrator()),
-                              ("circuit", circuit)):
-        params = dict(config=config, integrator=integrator,
-                      ebn0_grid=ebn0_grid, bpf=bpf,
-                      squarer_drive=BER_DRIVE, label=label,
+    for label in ("ideal", "circuit"):
+        spec = LinkSpec(config=config,
+                        frontend=FrontEndSpec(band=WIDE_FRONT_END,
+                                              squarer_drive=BER_DRIVE),
+                        integrator=label)
+        params = dict(spec=spec, ebn0_grid=ebn0_grid, label=label,
                       workers=workers, adaptive=adaptive, **budget)
+        if label == "circuit" and circuit is not None:
+            # Substitute-and-play override: a characterized surrogate
+            # replaces the registry's analytic circuit model.
+            params["integrator"] = circuit
         # The worker count is an execution knob: any workers>1 yields
-        # identical spawned-stream results (see ber_curve), so only
-        # the serial/spawned seeding distinction enters the content
-        # address - re-running with a different fan-out stays cached.
+        # identical spawned-stream results (see fastsim ber_curve), so
+        # only the serial/spawned seeding distinction enters the
+        # content address - re-running with a different fan-out stays
+        # cached.
         key_params = dict(
             params,
             workers="spawned" if workers and workers > 1 else "serial")
         runner.add(Scenario(
-            name=label, fn=ber_curve, seed=seed, rng_param="rng",
+            name=label, fn=ops.ber_curve, seed=seed, rng_param="rng",
             params=params, key_params=key_params))
     curves = runner.run().by_name()
     return Fig6Result(comparison=compare_ber(curves["ideal"],
                                              curves["circuit"]),
                       config=config, drive=BER_DRIVE, curves=curves)
+
+
+@experiment("fig6", order=10,
+            description="BER vs Eb/N0, ideal vs circuit integrator "
+                        "(paired Monte-Carlo)")
+def fig6_experiment(ctx: ExperimentContext) -> str:
+    # Adaptive Monte-Carlo: deep-SNR points stop once their Wilson
+    # upper bound resolves below the study's floor instead of burning
+    # the full symbol budget.
+    adaptive = AdaptiveStopping(ber_floor=1e-5 if ctx.full else 1e-4)
+    result = run_fig6(quick=not ctx.full, workers=ctx.processes,
+                      adaptive=adaptive, store=ctx.store,
+                      **ctx.seed_kwargs())
+    return result.format_report()

@@ -13,12 +13,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.experiments.registry import ExperimentContext, experiment
+from repro.link import (
+    FastsimBackend,
+    LinkSpec,
+    calibrate,
+    ops,
+    run_equivalence,
+)
+from repro.link.equivalence import DEFAULT_SPEC
 from repro.uwb import UwbConfig
-from repro.uwb.bpf import BandPassFilter
-from repro.uwb.integrator import IdealIntegrator
 from repro.uwb.channel.awgn import noise_sigma_for_ebn0
 from repro.uwb.modulation import ppm_waveform, random_bits
-from repro.uwb.system import run_ams_receiver
 
 
 @dataclass
@@ -57,19 +63,17 @@ def run_phase1_overlap(config: UwbConfig | None = None,
     samples; agreement should be essentially total.
     """
     config = config or UwbConfig()
-    bpf = BandPassFilter.for_pulse(config.fs, config.pulse_tau,
-                                   config.pulse_order)
-    # Reference energy of the filtered pulse train (per bit).
-    probe_bits = np.zeros(8, dtype=np.int8)
-    probe = bpf(ppm_waveform(probe_bits, config))
-    eb = float(np.sum(probe ** 2) / config.fs / len(probe_bits))
+    spec = LinkSpec(config=config, integrator="ideal")
+    # Pilot calibration: per-bit reference energy and the band-pass of
+    # the spec (the same calibration every BER backend uses).
+    cache = calibrate(spec)
+    bpf = cache.bpf
+    eb = cache.eb
 
     rng = np.random.default_rng(seed)
-    integrator = IdealIntegrator()
     ber_ams, ber_golden = [], []
     agree = 0
     total = 0
-    n_slot = config.samples_per_slot
     for ebn0 in ebn0_grid:
         sigma = noise_sigma_for_ebn0(eb, float(ebn0), config.fs)
         tx = random_bits(bits_per_point, rng)
@@ -78,19 +82,15 @@ def run_phase1_overlap(config: UwbConfig | None = None,
         sig = bpf(noisy)
         sig = 0.3 * sig / np.max(np.abs(bpf(clean)))
 
-        ams = run_ams_receiver(config, integrator, sig)
+        ams = ops.run_testbench(spec, sig)
         usable = len(ams.bits)
 
-        # Golden model: identical slot reshaping + integrator + decision.
-        # The AMS harvest integrates between the dump (first 2 ns) and
-        # hold (last 2 ns) windows of each slot; mirror that gating.
-        gate0 = int(round(2e-9 * config.fs))
-        gate1 = n_slot - int(round(2e-9 * config.fs))
-        squared = np.square(
-            sig[:usable * config.samples_per_symbol]
-        ).reshape(usable, 2, n_slot)[:, :, gate0:gate1]
-        values = integrator.window_outputs(squared, config.dt)
-        golden_bits = (values[:, 1] > values[:, 0]).astype(np.int8)
+        # Golden model: the fastsim backend's packet demodulation -
+        # same slot reshaping, same Integrate & Dump gating (the spec's
+        # t_dump/t_hold), same decision rule, on the same samples.
+        golden = FastsimBackend().packet(
+            spec, sig[:usable * config.samples_per_symbol])
+        golden_bits = golden.bits
 
         ber_ams.append(np.mean(ams.bits != tx[:usable]))
         ber_golden.append(np.mean(golden_bits != tx[:usable]))
@@ -101,3 +101,22 @@ def run_phase1_overlap(config: UwbConfig | None = None,
         ber_ams=np.asarray(ber_ams), ber_golden=np.asarray(ber_golden),
         decision_agreement=agree / max(total, 1),
         bits_per_point=bits_per_point)
+
+
+@experiment("phase1", order=60,
+            description="Phase-I overlap: AMS-kernel BER vs the "
+                        "gate-mirrored golden model")
+def phase1_experiment(ctx: ExperimentContext) -> str:
+    result = run_phase1_overlap(
+        bits_per_point=120 if ctx.full else 60, **ctx.seed_kwargs())
+    return result.format_report()
+
+
+@experiment("equivalence", order=70,
+            description="Cross-backend equivalence: fastsim vs kernel "
+                        "(both engines) on one seeded burst")
+def equivalence_experiment(ctx: ExperimentContext) -> str:
+    result = run_equivalence(DEFAULT_SPEC,
+                             bits=400 if ctx.full else 150,
+                             **ctx.seed_kwargs())
+    return result.format_report()

@@ -32,10 +32,10 @@ from repro.campaign.runner import CampaignRunner
 from repro.campaign.store import ResultStore
 from repro.core.metrics import CpuTimeReport
 from repro.core.scenario import Scenario
+from repro.experiments.registry import ExperimentContext, experiment
+from repro.link import LinkSpec, build_bpf, ops
 from repro.uwb import UwbConfig
-from repro.uwb.bpf import BandPassFilter
 from repro.uwb.modulation import ppm_waveform, random_bits
-from repro.uwb.system import run_ams_receiver
 
 #: (report label, integrator spec) rows of the table.
 MODEL_ROWS = (("IDEAL", "ideal"), ("VHDL-AMS", "two_pole"),
@@ -122,8 +122,7 @@ def make_table1_waveform(config: UwbConfig, n_symbols: int,
     tx_bits = random_bits(n_symbols, rng)
     wave = ppm_waveform(tx_bits, config, amplitude=1.0)
     wave = wave + rng.normal(0.0, 0.01, size=len(wave))
-    bpf = BandPassFilter.for_pulse(config.fs, config.pulse_tau,
-                                   config.pulse_order)
+    bpf = build_bpf(LinkSpec(config=config))
     sig = bpf(wave)
     sig = 0.25 * sig / np.max(np.abs(sig))
     return sig, tx_bits
@@ -166,21 +165,22 @@ def run_table1(config: UwbConfig | None = None,
     runner = CampaignRunner(processes=processes, store=store)
     for label, kind in MODEL_ROWS:
         runner.add(Scenario(
-            name=label, fn=run_ams_receiver,
-            params=dict(config=config, integrator=kind, waveform=sig,
-                        cosim_substeps=cosim_substeps, t_stop=span,
-                        engine=engine)))
+            name=label, fn=ops.run_testbench,
+            params=dict(spec=LinkSpec(config=config, integrator=kind),
+                        waveform=sig, cosim_substeps=cosim_substeps,
+                        t_stop=span, engine=engine)))
     if measure_reference and engine != "reference":
+        ideal_spec = LinkSpec(config=config, integrator="ideal")
         for i in range(max(1, speedup_repeats)):
             for eng in ("reference", engine):
                 # cache=False: the repeats are independent timing
                 # samples; under a store their identical content would
                 # collapse onto one entry and fake the best-of-N.
                 runner.add(Scenario(
-                    name=f"IDEAL/{eng}#{i}", fn=run_ams_receiver,
+                    name=f"IDEAL/{eng}#{i}", fn=ops.run_testbench,
                     cache=False,
-                    params=dict(config=config, integrator="ideal",
-                                waveform=sig, t_stop=span, engine=eng)))
+                    params=dict(spec=ideal_spec, waveform=sig,
+                                t_stop=span, engine=eng)))
 
     outcomes = runner.run().by_name()
     report = CpuTimeReport(simulated_time=span)
@@ -206,3 +206,17 @@ def run_table1(config: UwbConfig | None = None,
                         engine=engine, reference_times=reference_times,
                         compiled_times=compiled_times,
                         reference_bits=reference_bits)
+
+
+@experiment("table1", order=20,
+            description="CPU time of a system simulation per "
+                        "integrator model (+ engine speedup)")
+def table1_experiment(ctx: ExperimentContext) -> str:
+    # measure_reference repeats are uncacheable timing samples; skip
+    # them here so a completed table-1 campaign re-runs with zero
+    # executions (benchmarks/ still track the engine speedup).
+    result = run_table1(simulated_time=2e-6 if ctx.full else 1e-6,
+                        processes=ctx.processes,
+                        measure_reference=False, store=ctx.store,
+                        **ctx.seed_kwargs())
+    return result.format_report()

@@ -20,22 +20,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import warnings
+
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.store import ResultStore
 from repro.core.metrics import RangingComparison
 from repro.core.scenario import Scenario
-from repro.uwb import (
-    EnergyDetectionReceiver,
-    IdealIntegrator,
-    RangingResult,
-    TwoWayRanging,
-    UwbConfig,
-)
-from repro.uwb.channel import Cm1Channel
-from repro.uwb.integrator import (
-    CircuitSurrogateIntegrator,
-    WindowIntegrator,
-)
+from repro.experiments.registry import ExperimentContext, experiment
+from repro.link import ChannelSpec, FrontEndSpec, LinkSpec, ops
+from repro.uwb import RangingResult, TwoWayRanging, UwbConfig
+from repro.uwb.integrator import WindowIntegrator
 
 #: The overdriven AGC operating point of the TWR runs (see module doc).
 TWR_CONFIG = dict(preamble_symbols=16, payload_bits=16,
@@ -43,6 +37,20 @@ TWR_CONFIG = dict(preamble_symbols=16, payload_bits=16,
 TWR_NOISE_SIGMA = 9e-5
 TWR_TOA_FRACTION = 0.5
 TWR_DETECTION_FACTOR = 8.0
+
+
+def twr_spec(distance: float = 9.9,
+             integrator: str = "circuit") -> LinkSpec:
+    """The table-2 operating point as a :class:`LinkSpec`: CM1 LOS
+    channel at *distance*, overdriven AGC drive, mid-scale
+    ADC-referred TOA threshold."""
+    return LinkSpec(
+        config=UwbConfig(**TWR_CONFIG),
+        channel=ChannelSpec(kind="cm1", distance=float(distance)),
+        frontend=FrontEndSpec(
+            detection_factor=TWR_DETECTION_FACTOR,
+            toa_threshold_fraction=TWR_TOA_FRACTION),
+        integrator=integrator)
 
 
 @dataclass
@@ -70,28 +78,42 @@ class Table2Result:
 def make_twr(config: UwbConfig, integrator: WindowIntegrator,
              distance: float = 9.9,
              noise_sigma: float = TWR_NOISE_SIGMA) -> TwoWayRanging:
-    """A TWR simulator wired to the table-2 operating point."""
-    channel = Cm1Channel(config.fs)
+    """Deprecated TWR assembly helper.
+
+    .. deprecated::
+        Build the link via :func:`twr_spec` and call
+        ``get_backend("fastsim").ranging(spec, ...)`` (or
+        :func:`repro.link.ops.ranging`).
+    """
+    warnings.warn(
+        "make_twr is deprecated; build the link via twr_spec() and "
+        "run it through repro.link (Backend.ranging / ops.ranging)",
+        DeprecationWarning, stacklevel=2)
+    from repro.link import build_channel_model, build_receiver
+
+    spec = twr_spec(distance).with_(config=config)
     return TwoWayRanging(
-        config,
-        lambda: EnergyDetectionReceiver(
-            config, integrator,
-            toa_threshold_fraction=TWR_TOA_FRACTION,
-            detection_factor=TWR_DETECTION_FACTOR),
+        spec.config,
+        lambda: build_receiver(spec, integrator=integrator),
         distance=distance, tx_amplitude=1.0,
-        noise_sigma=noise_sigma, channel=channel)
+        noise_sigma=noise_sigma,
+        channel=build_channel_model(spec))
 
 
 def run_twr_arm(integrator: WindowIntegrator, distance: float,
                 iterations: int, rng: np.random.Generator,
                 noise_sigma: float = TWR_NOISE_SIGMA) -> RangingResult:
-    """One integrator arm of the table-2 campaign (top-level so
-    scenario sweeps can fan it out and the campaign layer can cache
-    it by content)."""
-    config = UwbConfig(**TWR_CONFIG)
-    twr = make_twr(config, integrator, distance=distance,
-                   noise_sigma=noise_sigma)
-    return twr.run(iterations, rng)
+    """Deprecated table-2 arm runner.
+
+    .. deprecated::
+        Use :func:`repro.link.ops.ranging` with :func:`twr_spec`.
+    """
+    warnings.warn(
+        "run_twr_arm is deprecated; use repro.link.ops.ranging with "
+        "twr_spec()",
+        DeprecationWarning, stacklevel=2)
+    return ops.ranging(twr_spec(distance), iterations, rng,
+                       integrator=integrator, noise_sigma=noise_sigma)
 
 
 def run_table2(distance: float = 9.9, iterations: int = 10,
@@ -105,16 +127,29 @@ def run_table2(distance: float = 9.9, iterations: int = 10,
     run as campaign scenarios, so they cache and fan out like every
     other harness.
     """
-    circuit = circuit or CircuitSurrogateIntegrator()
     runner = CampaignRunner(processes=processes, store=store)
-    for label, integ in (("ideal", IdealIntegrator()), ("circuit", circuit)):
+    for label in ("ideal", "circuit"):
+        params = dict(spec=twr_spec(distance, integrator=label),
+                      iterations=iterations,
+                      noise_sigma=TWR_NOISE_SIGMA)
+        if label == "circuit" and circuit is not None:
+            params["integrator"] = circuit
         runner.add(Scenario(
-            name=label, fn=run_twr_arm, seed=seed, rng_param="rng",
-            params=dict(integrator=integ, distance=distance,
-                        iterations=iterations)))
+            name=label, fn=ops.ranging, seed=seed, rng_param="rng",
+            params=params))
     arms = runner.run().by_name()
     comparison = RangingComparison()
     for label in ("ideal", "circuit"):
         comparison.add(label, arms[label])
     return Table2Result(comparison=comparison, distance=distance,
                         iterations=iterations)
+
+
+@experiment("table2", order=40,
+            description="Two-way ranging at 9.9 m over CM1 LOS, "
+                        "ideal vs circuit integrator")
+def table2_experiment(ctx: ExperimentContext) -> str:
+    result = run_table2(iterations=30 if ctx.full else 10,
+                        processes=ctx.processes, store=ctx.store,
+                        **ctx.seed_kwargs())
+    return result.format_report()

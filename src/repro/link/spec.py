@@ -1,0 +1,221 @@
+"""Declarative link description: the one front door's vocabulary.
+
+The paper's methodology hinges on *one unchanged testbench* driven
+across refinement phases by substituting implementations.  A
+:class:`LinkSpec` is that testbench's declarative description for this
+repository: the link configuration, the channel, the analog front end
+and the integrator selection (by registry name) in one frozen,
+hashable, serializable value.  Every backend
+(:mod:`repro.link.backends`) consumes the same spec, so an experiment
+written against a spec runs unchanged on the vectorized golden model,
+the AMS kernel testbench, or any future backend.
+
+Specs round-trip through :mod:`repro.core.serialization` (they are
+plain frozen dataclasses), so campaign content addresses and cache
+keys can be built directly from them via :meth:`LinkSpec.key`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.core.phases import Phase
+from repro.uwb.config import UwbConfig
+
+#: channel selections understood by the backends.
+CHANNEL_KINDS = ("none", "cm1")
+#: ADC policies: "auto" lets the backend pick its native default
+#: (fastsim BER: unquantized; kernel harvest: auto-ranged converter),
+#: "config" builds the converter from ``UwbConfig.adc_bits/adc_vref``,
+#: "none" disables quantization outright.
+ADC_MODES = ("auto", "config", "none")
+#: AGC policies of the packet-level receiver.
+AGC_MODES = ("single", "two_stage")
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Propagation channel selection.
+
+    Attributes:
+        kind: ``"none"`` (ideal delay-only link) or ``"cm1"`` (the TG4a
+            residential-LOS multipath model the paper uses).
+        distance: link distance in meters (drives path loss and flight
+            time; the paper's TWR experiment sits at 9.9 m).
+        realization_seed: seed of the deterministic CM1 realization
+            drawn for BER sweeps (ranging draws fresh realizations from
+            the run's generator instead).
+    """
+
+    kind: str = "none"
+    distance: float = 9.9
+    realization_seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHANNEL_KINDS:
+            raise ValueError(f"unknown channel kind {self.kind!r}; "
+                             f"choose from {CHANNEL_KINDS}")
+        if self.distance <= 0:
+            raise ValueError("distance must be positive")
+
+
+@dataclass(frozen=True)
+class FrontEndSpec:
+    """Analog front end and receiver policies.
+
+    Attributes:
+        band: explicit (low, high) BPF corners in Hz; ``None`` derives
+            the band from the configured pulse spectrum.
+        bpf_order: Butterworth order per corner.
+        squarer_drive: peak voltage presented to the squarer input by
+            the BER stimulus (the AGC operating point; the integrator's
+            ~100 mV linear range makes this the overdrive knob).
+        adc: one of :data:`ADC_MODES`.
+        agc: one of :data:`AGC_MODES` (packet-level receiver only).
+        agc_fill: ADC full-scale fill fraction targeted by the AGC.
+        agc_amp_target: squarer-output amplitude target of the
+            two-stage AGC's first stage (V).
+        detection_factor: preamble-sense threshold in noise std-devs.
+        toa_threshold_fraction: ADC-referred TOA crossing fraction.
+        t_dump / t_hold: Integrate & Dump slot timing - the reset
+            interval at the head of each slot and the hold interval at
+            its tail.  Both backends' ``packet`` operation honors this
+            gate, which is what makes their decisions comparable
+            sample for sample (Phase-I overlap).
+    """
+
+    band: tuple[float, float] | None = None
+    bpf_order: int = 4
+    squarer_drive: float = 0.05
+    adc: str = "auto"
+    agc: str = "single"
+    agc_fill: float = 0.85
+    agc_amp_target: float = 0.08
+    detection_factor: float = 6.0
+    toa_threshold_fraction: float = 0.10
+    t_dump: float = 2e-9
+    t_hold: float = 2e-9
+
+    def __post_init__(self) -> None:
+        if self.band is not None:
+            low, high = self.band
+            if not 0.0 < low < high:
+                raise ValueError("band needs 0 < low < high")
+            object.__setattr__(self, "band", (float(low), float(high)))
+        if self.bpf_order < 1:
+            raise ValueError("bpf_order must be >= 1")
+        if self.squarer_drive <= 0:
+            raise ValueError("squarer_drive must be positive")
+        if self.adc not in ADC_MODES:
+            raise ValueError(f"unknown adc mode {self.adc!r}; "
+                             f"choose from {ADC_MODES}")
+        if self.agc not in AGC_MODES:
+            raise ValueError(f"unknown agc mode {self.agc!r}; "
+                             f"choose from {AGC_MODES}")
+        if not 0.0 < self.agc_fill <= 1.0:
+            raise ValueError("agc_fill must be in (0, 1]")
+        if self.agc_amp_target <= 0:
+            raise ValueError("agc_amp_target must be positive")
+        if not 0.0 < self.toa_threshold_fraction < 1.0:
+            raise ValueError("toa_threshold_fraction must be in (0, 1)")
+        if self.t_dump < 0 or self.t_hold < 0:
+            raise ValueError("t_dump and t_hold must be non-negative")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """The one declarative description of a simulated link.
+
+    Attributes:
+        config: link timing/sampling configuration.
+        channel: propagation channel selection.
+        frontend: front-end and receiver policies.
+        integrator: integrator model by registry name (see
+            :mod:`repro.link.registry`): ``"ideal"`` (Phase II),
+            ``"two_pole"`` (Phase IV), ``"surrogate"`` / ``"circuit"``
+            (Phase III), or any name registered via
+            :func:`repro.link.registry.register_integrator`.
+        integrator_params: constructor overrides of the named model as
+            a sorted tuple of ``(name, value)`` pairs (a mapping is
+            accepted and normalized), e.g. ``{"fp2_hz": 3e9}`` for the
+            noise-shaping sweep.
+        phase: optional explicit :class:`Phase` selection when a name
+            carries bindings at several phases; ``None`` picks the
+            name's most refined registered phase.
+    """
+
+    config: UwbConfig = UwbConfig()
+    channel: ChannelSpec = ChannelSpec()
+    frontend: FrontEndSpec = FrontEndSpec()
+    integrator: str = "ideal"
+    integrator_params: tuple[tuple[str, Any], ...] = ()
+    phase: Phase | None = None
+
+    def __post_init__(self) -> None:
+        self.config.validate()
+        if self.frontend.t_dump + self.frontend.t_hold >= self.config.slot:
+            raise ValueError("t_dump + t_hold must fit inside a slot")
+        if not isinstance(self.integrator, str) or not self.integrator:
+            raise TypeError("integrator must be a registry name; pass "
+                            "model *instances* as the integrator= "
+                            "override of the backend operations")
+        params = self.integrator_params
+        if isinstance(params, Mapping):
+            params = params.items()
+        normalized = tuple(sorted((str(k), v) for k, v in params))
+        object.__setattr__(self, "integrator_params", normalized)
+        if self.phase is not None:
+            object.__setattr__(self, "phase", Phase(self.phase))
+
+    # -- derived views -------------------------------------------------
+
+    def params_dict(self) -> dict[str, Any]:
+        """``integrator_params`` as a keyword mapping."""
+        return dict(self.integrator_params)
+
+    # -- evolution helpers ---------------------------------------------
+
+    def with_(self, **changes: Any) -> "LinkSpec":
+        """Copy with top-level fields changed."""
+        return replace(self, **changes)
+
+    def with_config(self, **changes: Any) -> "LinkSpec":
+        """Copy with :class:`UwbConfig` fields changed."""
+        return replace(self, config=self.config.scaled(**changes))
+
+    def with_channel(self, **changes: Any) -> "LinkSpec":
+        """Copy with :class:`ChannelSpec` fields changed."""
+        return replace(self, channel=replace(self.channel, **changes))
+
+    def with_frontend(self, **changes: Any) -> "LinkSpec":
+        """Copy with :class:`FrontEndSpec` fields changed."""
+        return replace(self, frontend=replace(self.frontend, **changes))
+
+    # -- identity / persistence ----------------------------------------
+
+    def key(self) -> str:
+        """Stable content hash of this spec (campaign cache keys)."""
+        from repro.core.serialization import stable_hash
+
+        return stable_hash(self)
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Self-contained JSON encoding (see
+        :mod:`repro.core.serialization`)."""
+        from repro.core.serialization import to_jsonable
+
+        return json.dumps(to_jsonable(self), indent=indent,
+                          sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LinkSpec":
+        """Inverse of :meth:`to_json`."""
+        from repro.core.serialization import from_jsonable
+
+        spec = from_jsonable(json.loads(text))
+        if not isinstance(spec, cls):
+            raise ValueError(f"not a serialized {cls.__name__}: "
+                             f"{type(spec).__name__}")
+        return spec

@@ -57,9 +57,22 @@ class Agc:
                  fill: float = 0.85):
         if not 0.0 < fill <= 1.0:
             raise ValueError("fill must be in (0, 1]")
+        # A missing or degenerate gain must fail loudly: energy
+        # matching against a wrong K silently mis-scales every
+        # downstream decision (and the old 7e7 magic default did
+        # exactly that for custom integrators).
+        if integrator_k is None:
+            raise ValueError(
+                "Agc requires the integrator's nominal integration "
+                "constant (integrator_k); derive it from the installed "
+                "model's ideal_k")
+        k = float(integrator_k)
+        if not math.isfinite(k) or k <= 0:
+            raise ValueError(
+                f"integrator_k must be positive and finite, got {k!r}")
         self.vga = vga
         self.adc = adc
-        self.integrator_k = float(integrator_k)
+        self.integrator_k = k
         self.fill = float(fill)
 
     def _target_vout(self) -> float:

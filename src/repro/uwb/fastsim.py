@@ -21,6 +21,7 @@ reproduces the paper's ideal-versus-ELDO BER comparison.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -187,19 +188,19 @@ class _LinkCache:
             raise ValueError("degenerate link: zero received energy")
 
 
-def simulate_ber_point(config: UwbConfig, integrator: WindowIntegrator,
-                       ebn0_db: float, rng: np.random.Generator, *,
-                       channel: ChannelRealization | None = None,
-                       bpf: BandPassFilter | None = None,
-                       squarer_drive: float = 0.05,
-                       adc: Adc | None = None,
-                       target_errors: int = 100,
-                       max_bits: int = 200_000,
-                       min_bits: int = 2_000,
-                       chunk_bits: int = 1_000,
-                       adaptive: AdaptiveStopping | None = None,
-                       _cache: _LinkCache | None = None
-                       ) -> tuple[int, int]:
+def _simulate_ber_point(config: UwbConfig, integrator: WindowIntegrator,
+                        ebn0_db: float, rng: np.random.Generator, *,
+                        channel: ChannelRealization | None = None,
+                        bpf: BandPassFilter | None = None,
+                        squarer_drive: float = 0.05,
+                        adc: Adc | None = None,
+                        target_errors: int = 100,
+                        max_bits: int = 200_000,
+                        min_bits: int = 2_000,
+                        chunk_bits: int = 1_000,
+                        adaptive: AdaptiveStopping | None = None,
+                        _cache: _LinkCache | None = None
+                        ) -> tuple[int, int]:
     """Monte-Carlo BER at one Eb/N0 point.
 
     Args:
@@ -256,18 +257,18 @@ def simulate_ber_point(config: UwbConfig, integrator: WindowIntegrator,
     return errors, bits_done
 
 
-def ber_curve(config: UwbConfig, integrator: WindowIntegrator,
-              ebn0_grid, rng: np.random.Generator, *,
-              channel: ChannelRealization | None = None,
-              bpf: BandPassFilter | None = None,
-              squarer_drive: float = 0.05,
-              adc: Adc | None = None,
-              target_errors: int = 100,
-              max_bits: int = 200_000,
-              min_bits: int = 2_000,
-              label: str | None = None,
-              workers: int | None = None,
-              adaptive: AdaptiveStopping | None = None) -> BerResult:
+def _ber_curve(config: UwbConfig, integrator: WindowIntegrator,
+               ebn0_grid, rng: np.random.Generator, *,
+               channel: ChannelRealization | None = None,
+               bpf: BandPassFilter | None = None,
+               squarer_drive: float = 0.05,
+               adc: Adc | None = None,
+               target_errors: int = 100,
+               max_bits: int = 200_000,
+               min_bits: int = 2_000,
+               label: str | None = None,
+               workers: int | None = None,
+               adaptive: AdaptiveStopping | None = None) -> BerResult:
     """BER versus Eb/N0 for one integrator model (figure-6 workload).
 
     Args:
@@ -292,7 +293,7 @@ def ber_curve(config: UwbConfig, integrator: WindowIntegrator,
         runner = SweepRunner(processes=workers)
         for point, child in zip(ebn0_grid, rng.spawn(len(ebn0_grid))):
             runner.add(Scenario(
-                name=f"ebn0={point:g}dB", fn=simulate_ber_point,
+                name=f"ebn0={point:g}dB", fn=_simulate_ber_point,
                 params=dict(config=config, integrator=integrator,
                             ebn0_db=float(point), rng=child,
                             channel=channel, bpf=bpf,
@@ -304,7 +305,7 @@ def ber_curve(config: UwbConfig, integrator: WindowIntegrator,
             errors[i], bits[i] = result.value
     else:
         for i, point in enumerate(ebn0_grid):
-            e, b = simulate_ber_point(
+            e, b = _simulate_ber_point(
                 config, integrator, float(point), rng, channel=channel,
                 bpf=bpf, squarer_drive=squarer_drive, adc=adc,
                 target_errors=target_errors, max_bits=max_bits,
@@ -322,6 +323,37 @@ def ber_curve(config: UwbConfig, integrator: WindowIntegrator,
                      label=label or integrator.name,
                      ci_low=ci_low, ci_high=ci_high,
                      confidence=confidence)
+
+
+def simulate_ber_point(*args, **kwargs) -> tuple[int, int]:
+    """Deprecated front door; see :func:`_simulate_ber_point` for the
+    signature.
+
+    .. deprecated::
+        Build a :class:`repro.link.LinkSpec` and call
+        ``FastsimBackend().ber_point(spec, ebn0_db, rng)`` (or the
+        campaign-friendly :func:`repro.link.ops.ber_point`) instead.
+    """
+    warnings.warn(
+        "repro.uwb.fastsim.simulate_ber_point is deprecated; go through "
+        "repro.link (LinkSpec + FastsimBackend.ber_point)",
+        DeprecationWarning, stacklevel=2)
+    return _simulate_ber_point(*args, **kwargs)
+
+
+def ber_curve(*args, **kwargs) -> BerResult:
+    """Deprecated front door; see :func:`_ber_curve` for the signature.
+
+    .. deprecated::
+        Build a :class:`repro.link.LinkSpec` and call
+        ``FastsimBackend().ber_curve(spec, grid, rng)`` (or the
+        campaign-friendly :func:`repro.link.ops.ber_curve`) instead.
+    """
+    warnings.warn(
+        "repro.uwb.fastsim.ber_curve is deprecated; go through "
+        "repro.link (LinkSpec + FastsimBackend.ber_curve)",
+        DeprecationWarning, stacklevel=2)
+    return _ber_curve(*args, **kwargs)
 
 
 def theoretical_ppm_awgn_ber(ebn0_db) -> np.ndarray:

@@ -38,6 +38,16 @@ from repro.ams.equations import (
 )
 
 
+def nominal_gain(integrator) -> float | None:
+    """The nominal (ideal-equivalent) integration constant of a model:
+    ``ideal_k`` if exposed, else ``k``, else ``None``.  The single
+    lookup every AGC-sizing path shares."""
+    k = getattr(integrator, "ideal_k", None)
+    if k is None:
+        k = getattr(integrator, "k", None)
+    return float(k) if k is not None else None
+
+
 class WindowIntegrator:
     """Common interface of the behavioral integrator models."""
 

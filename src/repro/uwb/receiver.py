@@ -30,7 +30,11 @@ from repro.uwb.agc import Agc, AgcDecision
 from repro.uwb.bpf import BandPassFilter
 from repro.uwb.config import UwbConfig
 from repro.uwb.frontend import Vga
-from repro.uwb.integrator import IdealIntegrator, WindowIntegrator
+from repro.uwb.integrator import (
+    IdealIntegrator,
+    WindowIntegrator,
+    nominal_gain,
+)
 
 
 @dataclass
@@ -85,10 +89,21 @@ class EnergyDetectionReceiver:
         self.vga = vga or Vga(step_db=config.agc_steps_db,
                               max_db=config.agc_range_db)
         self.adc = adc or Adc(bits=config.adc_bits, vref=config.adc_vref)
-        k = getattr(self.integrator, "ideal_k", None)
-        if k is None:
-            k = getattr(self.integrator, "k", 7.0e7)
-        self.agc = agc or Agc(self.vga, self.adc, integrator_k=k)
+        if agc is None:
+            # The default AGC needs the nominal (ideal-equivalent)
+            # integration constant of the installed model.  There is
+            # no sane silent fallback - a wrong K mis-scales the whole
+            # decision path - so a model without one must bring its
+            # own AGC.
+            k = nominal_gain(self.integrator)
+            if k is None:
+                raise ValueError(
+                    f"integrator {type(self.integrator).__name__} "
+                    "exposes no ideal_k/k integration constant; pass "
+                    "an explicit agc= (the default Agc cannot size "
+                    "the gain without it)")
+            agc = Agc(self.vga, self.adc, integrator_k=k)
+        self.agc = agc
         self.bpf = bpf if bpf is not None else BandPassFilter.for_pulse(
             config.fs, config.pulse_tau, config.pulse_order)
         self.detection_factor = float(detection_factor)

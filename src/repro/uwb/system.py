@@ -19,6 +19,7 @@ and what the Table-1 CPU benchmark measures.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -36,12 +37,7 @@ from repro.circuits import IntegrateDumpDesign, build_id_testbench, \
     default_design
 from repro.uwb.adc import Adc
 from repro.uwb.config import UwbConfig
-from repro.uwb.integrator import (
-    CircuitSurrogateIntegrator,
-    IdealIntegrator,
-    TwoPoleIntegrator,
-    WindowIntegrator,
-)
+from repro.uwb.integrator import WindowIntegrator
 
 MODE_DUMP = 0
 MODE_INTEGRATE = 1
@@ -144,23 +140,31 @@ class AmsRunResult:
     recorder: Recorder | None = None
 
 
+def _resolve_integrator(kind: str | WindowIntegrator
+                        ) -> WindowIntegrator | str:
+    """Resolve an integrator spec through the link registry: pass
+    through instances, build registered names, keep ``"circuit"``
+    symbolic (it becomes a co-simulation block)."""
+    # Imported lazily: repro.link's backends import this module.
+    from repro.link.registry import resolve_integrator
+
+    return resolve_integrator(kind, cosim=True)
+
+
 def make_integrator(kind: str | WindowIntegrator,
                     design: IntegrateDumpDesign | None = None
                     ) -> WindowIntegrator | str:
-    """Resolve an integrator spec: pass through instances, build the
-    named behavioral models, keep ``"circuit"`` symbolic (it becomes a
-    co-simulation block)."""
-    if isinstance(kind, WindowIntegrator):
-        return kind
-    if kind == "ideal":
-        return IdealIntegrator()
-    if kind == "two_pole":
-        return TwoPoleIntegrator()
-    if kind == "surrogate":
-        return CircuitSurrogateIntegrator()
-    if kind == "circuit":
-        return "circuit"
-    raise ValueError(f"unknown integrator spec {kind!r}")
+    """Deprecated string dispatch, absorbed by the link registry.
+
+    .. deprecated::
+        Use :func:`repro.link.registry.resolve_integrator` (or select
+        integrators by name in a :class:`repro.link.LinkSpec`).
+    """
+    warnings.warn(
+        "repro.uwb.system.make_integrator is deprecated; resolve "
+        "integrators through repro.link.registry.resolve_integrator",
+        DeprecationWarning, stacklevel=2)
+    return _resolve_integrator(kind)
 
 
 def build_ams_receiver(config: UwbConfig,
@@ -194,7 +198,7 @@ def build_ams_receiver(config: UwbConfig,
                                 inputs=[vga_out], outputs=[sq_out],
                                 vectorized=True))
 
-    resolved = make_integrator(integrator, design)
+    resolved = _resolve_integrator(integrator)
     if resolved == "circuit":
         tb = build_id_testbench(design, mode="hold")
         cm = design.input_cm
@@ -288,16 +292,16 @@ class _Harvest:
                             recorder=self.recorder)
 
 
-def run_ams_receiver(config: UwbConfig,
-                     integrator: str | WindowIntegrator,
-                     waveform: np.ndarray, *,
-                     gain: float = 1.0,
-                     design: IntegrateDumpDesign | None = None,
-                     adc: Adc | None = None,
-                     cosim_substeps: int = 1,
-                     record: bool = False,
-                     t_stop: float | None = None,
-                     engine: str = "compiled") -> AmsRunResult:
+def _run_ams_receiver(config: UwbConfig,
+                      integrator: str | WindowIntegrator,
+                      waveform: np.ndarray, *,
+                      gain: float = 1.0,
+                      design: IntegrateDumpDesign | None = None,
+                      adc: Adc | None = None,
+                      cosim_substeps: int = 1,
+                      record: bool = False,
+                      t_stop: float | None = None,
+                      engine: str = "compiled") -> AmsRunResult:
     """Run the mixed-signal receiver over *waveform*.
 
     Args:
@@ -329,3 +333,20 @@ def run_ams_receiver(config: UwbConfig,
         t_stop = n_symbols * config.symbol_period
     sim.run(t_stop)
     return harvest.result()
+
+
+def run_ams_receiver(*args, **kwargs) -> AmsRunResult:
+    """Deprecated front door; see :func:`_run_ams_receiver` for the
+    signature.
+
+    .. deprecated::
+        Build a :class:`repro.link.LinkSpec` and call
+        ``KernelBackend(engine=...).packet(spec, waveform)`` (or the
+        campaign-friendly :func:`repro.link.ops.run_testbench`).
+    """
+    warnings.warn(
+        "repro.uwb.system.run_ams_receiver is deprecated; go through "
+        "repro.link (LinkSpec + KernelBackend.packet / "
+        "repro.link.ops.run_testbench)",
+        DeprecationWarning, stacklevel=2)
+    return _run_ams_receiver(*args, **kwargs)

@@ -13,13 +13,21 @@ from repro.ams import (
     Simulator,
     get_engine,
 )
+from repro.link import LinkSpec, ops
 from repro.uwb.bpf import BandPassFilter
 from repro.uwb.config import UwbConfig
 from repro.uwb.modulation import ppm_waveform
-from repro.uwb.system import run_ams_receiver
 
 FAST = UwbConfig(fs=8e9, symbol_period=16e-9, pulse_tau=0.225e-9,
                  pulse_order=5, integration_window=2e-9)
+SPEC = LinkSpec(config=FAST)
+
+
+def run_receiver(integrator, sig, *, engine, record=False):
+    """The mixed-signal receiver through the front door (the engine
+    under test is the only thing that varies)."""
+    return ops.run_testbench(SPEC, sig, engine=engine, record=record,
+                             integrator=integrator)
 
 
 def fig5_like_signal(bits):
@@ -135,10 +143,10 @@ class TestEngineEquivalence:
 
     def test_fig5_testbench_ideal_bit_exact(self):
         bits, sig = fig5_like_signal([1, 0, 0, 1, 1, 0])
-        ref = run_ams_receiver(FAST, "ideal", sig, engine="reference",
-                               record=True)
-        com = run_ams_receiver(FAST, "ideal", sig, engine="compiled",
-                               record=True)
+        ref = run_receiver("ideal", sig, engine="reference",
+                           record=True)
+        com = run_receiver("ideal", sig, engine="compiled",
+                           record=True)
         assert np.array_equal(ref.bits, com.bits)
         assert np.array_equal(ref.bits, bits)
         assert np.array_equal(ref.slot_values, com.slot_values)
@@ -150,18 +158,16 @@ class TestEngineEquivalence:
 
     def test_fig5_testbench_two_pole_equivalent(self):
         bits, sig = fig5_like_signal([0, 1, 1, 0, 1])
-        ref = run_ams_receiver(FAST, "two_pole", sig, engine="reference")
-        com = run_ams_receiver(FAST, "two_pole", sig, engine="compiled")
+        ref = run_receiver("two_pole", sig, engine="reference")
+        com = run_receiver("two_pole", sig, engine="compiled")
         assert np.array_equal(ref.bits, com.bits)
         np.testing.assert_allclose(com.slot_values, ref.slot_values,
                                    rtol=1e-9, atol=1e-15)
 
     def test_surrogate_equivalent(self):
         bits, sig = fig5_like_signal([1, 1, 0, 0])
-        ref = run_ams_receiver(FAST, "surrogate", sig,
-                               engine="reference")
-        com = run_ams_receiver(FAST, "surrogate", sig,
-                               engine="compiled")
+        ref = run_receiver("surrogate", sig, engine="reference")
+        com = run_receiver("surrogate", sig, engine="compiled")
         assert np.array_equal(ref.bits, com.bits)
         np.testing.assert_allclose(com.slot_values, ref.slot_values,
                                    rtol=1e-9, atol=1e-15)
@@ -170,10 +176,10 @@ class TestEngineEquivalence:
         """The time grid is built in bounded chunks on long runs; a
         pathological chunk size must not change a single bit."""
         bits, sig = fig5_like_signal([1, 0, 1, 1, 0, 0])
-        ref = run_ams_receiver(FAST, "ideal", sig, engine="reference")
+        ref = run_receiver("ideal", sig, engine="reference")
         tiny = CompiledEngine()
         tiny.GRID_CHUNK = 17  # far below any real segment size
-        com = run_ams_receiver(FAST, "ideal", sig, engine=tiny)
+        com = run_receiver("ideal", sig, engine=tiny)
         assert np.array_equal(ref.bits, com.bits)
         assert np.array_equal(ref.slot_values, com.slot_values)
         assert ref.steps == com.steps
@@ -192,8 +198,8 @@ class TestEngineEquivalence:
         wall-clock speedup itself is asserted in the benchmark tier,
         where loaded-box headroom is accounted for)."""
         _bits, sig = fig5_like_signal(np.zeros(40, dtype=np.int8))
-        ref = run_ams_receiver(FAST, "ideal", sig, engine="reference")
-        com = run_ams_receiver(FAST, "ideal", sig, engine="compiled")
+        ref = run_receiver("ideal", sig, engine="reference")
+        com = run_receiver("ideal", sig, engine="compiled")
         assert np.array_equal(ref.bits, com.bits)
         assert np.array_equal(ref.slot_values, com.slot_values)
 
@@ -208,10 +214,10 @@ class TestEngineEquivalence:
         bits, sig = fig5_like_signal([1, 0, 1])
         model = TwoPoleIntegrator(
             input_nonlinearity=lambda v: math.tanh(v))  # scalar-only
-        ref = run_ams_receiver(FAST, model, sig, engine="reference")
+        ref = run_receiver(model, sig, engine="reference")
         model2 = TwoPoleIntegrator(
             input_nonlinearity=lambda v: math.tanh(v))
-        com = run_ams_receiver(FAST, model2, sig, engine="compiled")
+        com = run_receiver(model2, sig, engine="compiled")
         assert np.array_equal(ref.bits, com.bits)
         np.testing.assert_allclose(com.slot_values, ref.slot_values,
                                    rtol=1e-12, atol=0)

@@ -33,6 +33,29 @@ class TestCacheCommands:
         assert code == 2 and "unknown experiment" in out
 
 
+class TestListCommand:
+    def test_list_enumerates_registered_experiments(self, capsys):
+        from repro.experiments.registry import experiment_names
+
+        code, out = run_cli(capsys, "run", "--list")
+        assert code == 0
+        names = experiment_names()
+        # The five canonical CLI experiments plus everything registered.
+        for name in ("fig6", "table1", "fig5", "table2", "ablations"):
+            assert name in names
+        for name in names:
+            assert f"  {name:<12s}" in out
+        assert f"{len(names)} experiments" in out
+
+    def test_run_without_experiments_errors(self, capsys):
+        code, out = run_cli(capsys, "run")
+        assert code == 2 and "--list" in out
+
+    def test_run_unknown_experiment_errors(self, capsys):
+        code, out = run_cli(capsys, "run", "nope")
+        assert code == 2 and "unknown experiment" in out
+
+
 class TestRunCommand:
     def test_run_table2_twice_hits_cache(self, tmp_path, capsys):
         argv = ("run", "table2", "--fast",
@@ -55,7 +78,7 @@ class TestRunCommand:
         code, out = run_cli(capsys, "cache", "ls",
                             "--cache-dir", str(tmp_path))
         assert code == 0
-        assert "run_twr_arm" in out and "2 results" in out
+        assert "repro.link.ops:ranging" in out and "2 results" in out
         code, out = run_cli(capsys, "report", "table2",
                             "--cache-dir", str(tmp_path))
         assert code == 0 and "Table 2 - TWR" in out

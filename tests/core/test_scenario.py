@@ -10,7 +10,7 @@ from repro.core.scenario import (
     _execute,
 )
 from repro.uwb.config import UwbConfig
-from repro.uwb.fastsim import ber_curve, simulate_ber_point
+from repro.link import LinkSpec, ops
 from repro.uwb.integrator import IdealIntegrator
 from repro.uwb.modulation import random_bits
 
@@ -195,11 +195,15 @@ class TestSweepReportJson:
 class TestBerCurveWorkers:
     BUDGET = dict(target_errors=15, max_bits=2000, min_bits=400)
 
+    SPEC = LinkSpec(config=FAST)
+
     def test_parallel_ber_curve_reproducible(self):
-        a = ber_curve(FAST, IdealIntegrator(), [4.0, 8.0],
-                      np.random.default_rng(3), workers=2, **self.BUDGET)
-        b = ber_curve(FAST, IdealIntegrator(), [4.0, 8.0],
-                      np.random.default_rng(3), workers=2, **self.BUDGET)
+        a = ops.ber_curve(self.SPEC, [4.0, 8.0],
+                          np.random.default_rng(3), workers=2,
+                          **self.BUDGET)
+        b = ops.ber_curve(self.SPEC, [4.0, 8.0],
+                          np.random.default_rng(3), workers=2,
+                          **self.BUDGET)
         assert np.array_equal(a.errors, b.errors)
         assert np.array_equal(a.bits, b.bits)
 
@@ -207,11 +211,11 @@ class TestBerCurveWorkers:
         """Each parallel point equals a serial run of the same spawned
         stream - fan-out changes scheduling, not statistics."""
         grid = [4.0, 8.0]
-        parallel = ber_curve(FAST, IdealIntegrator(), grid,
-                             np.random.default_rng(9), workers=2,
-                             **self.BUDGET)
+        parallel = ops.ber_curve(self.SPEC, grid,
+                                 np.random.default_rng(9), workers=2,
+                                 **self.BUDGET)
         children = np.random.default_rng(9).spawn(len(grid))
         for i, (point, child) in enumerate(zip(grid, children)):
-            e, b = simulate_ber_point(FAST, IdealIntegrator(), point,
-                                      child, **self.BUDGET)
+            e, b = ops.ber_point(self.SPEC, point, child,
+                                 **self.BUDGET)
             assert (parallel.errors[i], parallel.bits[i]) == (e, b)

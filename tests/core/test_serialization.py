@@ -6,6 +6,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.core.phases import Phase
 from repro.core.serialization import (
     UnserializableError,
     callable_spec,
@@ -15,8 +16,9 @@ from repro.core.serialization import (
     stable_hash,
     to_jsonable,
 )
+from repro.link import ChannelSpec, FrontEndSpec, LinkSpec
 from repro.uwb.bpf import BandPassFilter
-from repro.uwb.config import UwbConfig
+from repro.uwb.config import TEST_CONFIG, UwbConfig
 from repro.uwb.fastsim import BerResult
 from repro.uwb.integrator import (
     CircuitSurrogateIntegrator,
@@ -151,6 +153,85 @@ class TestCallables:
     def test_lambda_rejected(self):
         with pytest.raises(UnserializableError):
             to_jsonable(lambda x: x)
+
+
+class TestEnums:
+    def test_intenum_keeps_type(self):
+        """An IntEnum must not decay to a plain int - a decoded Phase
+        selection has to compare and str() like a Phase."""
+        back = roundtrip(Phase.III)
+        assert back is Phase.III
+        assert str(back) == "Phase III"
+
+    def test_enum_inside_containers_and_dataclasses(self):
+        v = {"phases": [Phase.I, Phase.IV], "pick": Phase.II}
+        back = roundtrip(v)
+        assert back == v and back["pick"] is Phase.II
+
+    def test_enum_hash_distinct_from_raw_value(self):
+        assert stable_hash(Phase.II) != stable_hash(2)
+
+
+def _spec_variants() -> list[LinkSpec]:
+    """A property-style sample of the LinkSpec space: every layer and
+    option exercised at least once."""
+    return [
+        LinkSpec(),
+        LinkSpec(config=TEST_CONFIG, integrator="two_pole"),
+        LinkSpec(integrator="circuit", phase=Phase.III),
+        LinkSpec(integrator="two_pole",
+                 integrator_params={"fp2_hz": 3e9, "gain": 4.0}),
+        LinkSpec(channel=ChannelSpec(kind="cm1", distance=3.3,
+                                     realization_seed=7)),
+        LinkSpec(frontend=FrontEndSpec(band=(2e9, 9e9),
+                                       squarer_drive=0.35,
+                                       adc="config", agc="two_stage",
+                                       agc_amp_target=0.06,
+                                       detection_factor=8.0,
+                                       toa_threshold_fraction=0.5)),
+        LinkSpec(config=TEST_CONFIG,
+                 channel=ChannelSpec(kind="cm1", distance=9.9),
+                 frontend=FrontEndSpec(adc="none", bpf_order=2,
+                                       t_dump=1e-9, t_hold=1e-9),
+                 integrator="surrogate"),
+    ]
+
+
+class TestLinkSpecRoundTrip:
+    """Campaign cache keys are built from specs; the codec must carry
+    them losslessly (the serialization satellite of the front-door
+    redesign)."""
+
+    @pytest.mark.parametrize("spec", _spec_variants(),
+                             ids=lambda s: s.key()[:8])
+    def test_codec_roundtrip_is_lossless(self, spec):
+        back = roundtrip(spec)
+        assert isinstance(back, LinkSpec)
+        assert back == spec
+        assert hash(back) == hash(spec)
+
+    @pytest.mark.parametrize("spec", _spec_variants(),
+                             ids=lambda s: s.key()[:8])
+    def test_json_roundtrip_preserves_key(self, spec):
+        back = LinkSpec.from_json(spec.to_json())
+        assert back == spec
+        assert back.key() == spec.key()
+
+    def test_keys_pairwise_distinct(self):
+        keys = [s.key() for s in _spec_variants()]
+        assert len(set(keys)) == len(keys)
+
+    def test_decoded_spec_still_resolves(self):
+        from repro.link import resolve_integrator
+        from repro.uwb.integrator import TwoPoleIntegrator
+
+        spec = LinkSpec(integrator="two_pole",
+                        integrator_params={"fp2_hz": 3e9})
+        back = roundtrip(spec)
+        model = resolve_integrator(back.integrator,
+                                   params=back.integrator_params)
+        assert isinstance(model, TwoPoleIntegrator)
+        assert model.fp2_hz == 3e9
 
 
 class TestStableHash:

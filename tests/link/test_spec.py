@@ -1,0 +1,189 @@
+"""LinkSpec: validation, hashing, serialization, registry resolution."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.phases import Phase
+from repro.core.registry import ModelRegistry
+from repro.core.serialization import stable_hash
+from repro.link import (
+    ChannelSpec,
+    FrontEndSpec,
+    LinkSpec,
+    default_link_registry,
+    integrator_names,
+    register_integrator,
+    resolve_integrator,
+)
+from repro.link.registry import COSIM
+from repro.uwb.config import TEST_CONFIG, UwbConfig
+from repro.uwb.integrator import (
+    CircuitSurrogateIntegrator,
+    IdealIntegrator,
+    TwoPoleIntegrator,
+)
+
+
+class TestSpecConstruction:
+    def test_defaults_validate(self):
+        spec = LinkSpec()
+        assert spec.integrator == "ideal"
+        assert spec.channel.kind == "none"
+        assert spec.frontend.adc == "auto"
+
+    def test_frozen_and_hashable(self):
+        spec = LinkSpec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.integrator = "two_pole"
+        assert spec == LinkSpec()
+        assert hash(spec) == hash(LinkSpec())
+        assert spec != spec.with_(integrator="two_pole")
+
+    def test_integrator_params_normalized(self):
+        a = LinkSpec(integrator="two_pole",
+                     integrator_params={"fp2_hz": 3e9, "gain": 2.0})
+        b = LinkSpec(integrator="two_pole",
+                     integrator_params=(("gain", 2.0), ("fp2_hz", 3e9)))
+        assert a == b
+        assert a.params_dict() == {"fp2_hz": 3e9, "gain": 2.0}
+
+    def test_phase_coerced_to_enum(self):
+        spec = LinkSpec(phase=2)
+        assert spec.phase is Phase.II
+
+    def test_instance_integrator_rejected(self):
+        with pytest.raises(TypeError):
+            LinkSpec(integrator=IdealIntegrator())
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec(config=UwbConfig(fs=-1.0))
+
+    def test_channel_validation(self):
+        with pytest.raises(ValueError):
+            ChannelSpec(kind="cm9")
+        with pytest.raises(ValueError):
+            ChannelSpec(distance=0.0)
+
+    def test_frontend_validation(self):
+        with pytest.raises(ValueError):
+            FrontEndSpec(band=(5e9, 2e9))
+        with pytest.raises(ValueError):
+            FrontEndSpec(adc="maybe")
+        with pytest.raises(ValueError):
+            FrontEndSpec(agc="three_stage")
+        with pytest.raises(ValueError):
+            FrontEndSpec(squarer_drive=0.0)
+
+    def test_with_helpers(self):
+        spec = LinkSpec()
+        assert spec.with_config(fs=8e9).config.fs == 8e9
+        assert spec.with_channel(kind="cm1").channel.kind == "cm1"
+        assert spec.with_frontend(agc="two_stage").frontend.agc \
+            == "two_stage"
+        # originals untouched
+        assert spec.config.fs == 20e9 and spec.channel.kind == "none"
+
+
+class TestSpecIdentity:
+    def test_key_stable_across_equal_specs(self):
+        a = LinkSpec(config=TEST_CONFIG, integrator="two_pole")
+        b = LinkSpec(config=TEST_CONFIG, integrator="two_pole")
+        assert a.key() == b.key() == stable_hash(b)
+
+    def test_key_sensitive_to_every_layer(self):
+        base = LinkSpec()
+        for other in (base.with_(integrator="two_pole"),
+                      base.with_(phase=Phase.II),
+                      base.with_config(fs=8e9, symbol_period=32e-9),
+                      base.with_channel(kind="cm1"),
+                      base.with_frontend(squarer_drive=0.2),
+                      base.with_(integrator_params={"k": 1e8})):
+            assert other.key() != base.key()
+
+    def test_json_roundtrip(self):
+        spec = LinkSpec(config=TEST_CONFIG,
+                        channel=ChannelSpec(kind="cm1", distance=3.0),
+                        frontend=FrontEndSpec(band=(2e9, 3.5e9),
+                                              agc="two_stage"),
+                        integrator="two_pole",
+                        integrator_params={"fp2_hz": 3e9},
+                        phase=Phase.IV)
+        back = LinkSpec.from_json(spec.to_json())
+        assert back == spec
+        assert back.phase is Phase.IV
+        assert back.key() == spec.key()
+
+    def test_from_json_rejects_foreign_payload(self):
+        import json
+
+        from repro.core.serialization import to_jsonable
+
+        with pytest.raises(ValueError):
+            LinkSpec.from_json(json.dumps(to_jsonable(TEST_CONFIG)))
+
+
+class TestRegistryResolution:
+    def test_builtin_names(self):
+        assert set(integrator_names()) >= {"ideal", "two_pole",
+                                           "surrogate", "circuit"}
+
+    def test_names_resolve_to_models(self):
+        assert isinstance(resolve_integrator("ideal"), IdealIntegrator)
+        assert isinstance(resolve_integrator("two_pole"),
+                          TwoPoleIntegrator)
+        assert isinstance(resolve_integrator("surrogate"),
+                          CircuitSurrogateIntegrator)
+
+    def test_circuit_resolution_depends_on_cosim(self):
+        assert resolve_integrator("circuit", cosim=True) == COSIM
+        assert isinstance(resolve_integrator("circuit", cosim=False),
+                          CircuitSurrogateIntegrator)
+
+    def test_instance_passthrough(self):
+        inst = TwoPoleIntegrator()
+        assert resolve_integrator(inst) is inst
+
+    def test_params_forwarded_to_factory(self):
+        model = resolve_integrator("two_pole",
+                                   params={"fp2_hz": 3e9, "gain": 4.0})
+        assert model.fp2_hz == 3e9 and model.gain == 4.0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown integrator"):
+            resolve_integrator("quantum")
+
+    def test_wrong_phase_rejected(self):
+        with pytest.raises(ValueError, match="no Phase"):
+            resolve_integrator("ideal", phase=Phase.IV)
+
+    def test_explicit_phase_selection(self):
+        assert isinstance(resolve_integrator("ideal", phase=Phase.II),
+                          IdealIntegrator)
+
+    def test_custom_registration_in_fresh_registry(self):
+        registry = default_link_registry()
+        register_integrator("boosted", Phase.IV,
+                            lambda **kw: IdealIntegrator(k=2e8, **kw),
+                            description="custom", registry=registry)
+        model = resolve_integrator("boosted", registry=registry)
+        assert isinstance(model, IdealIntegrator) and model.k == 2e8
+        assert "boosted" in integrator_names(registry)
+
+    def test_interface_check_enforced(self):
+        registry = default_link_registry()
+        with pytest.raises(TypeError, match="WindowIntegrator"):
+            register_integrator("bogus", Phase.II, lambda: object(),
+                                registry=registry)
+
+    def test_duplicate_binding_rejected(self):
+        registry = default_link_registry()
+        with pytest.raises(KeyError):
+            register_integrator("ideal", Phase.II, IdealIntegrator,
+                                registry=registry)
+
+    def test_registry_is_a_model_registry(self):
+        # The front door genuinely routes through the core registry.
+        assert isinstance(default_link_registry(), ModelRegistry)

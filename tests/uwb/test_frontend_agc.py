@@ -127,6 +127,21 @@ class TestAgcPolicies:
         assert squared_peak < 0.15  # inside the linear range
         assert decision.post_gain > 1.0  # energy made up after the I&D
 
+    def test_missing_gain_rejected_loudly(self):
+        """No silent 7e7-style default: energy matching against a
+        wrong K mis-scales every downstream decision."""
+        vga, adc = self._parts()
+        with pytest.raises(ValueError, match="integration constant"):
+            Agc(vga, adc, integrator_k=None)
+        with pytest.raises(ValueError, match="positive and finite"):
+            Agc(vga, adc, integrator_k=0.0)
+        with pytest.raises(ValueError, match="positive and finite"):
+            Agc(vga, adc, integrator_k=-1e7)
+        with pytest.raises(ValueError, match="positive and finite"):
+            Agc(vga, adc, integrator_k=math.nan)
+        with pytest.raises(ValueError, match="integration constant"):
+            TwoStageAgc(vga, adc, integrator_k=None)
+
     def test_two_stage_energy_restored(self):
         vga, adc = self._parts()
         agc = TwoStageAgc(vga, adc, integrator_k=6.25e7, fill=0.85,

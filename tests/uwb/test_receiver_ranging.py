@@ -31,6 +31,43 @@ def make_rx_waveform(cfg, rng, amplitude=1e-3, noise=1e-5,
     return rx, payload, idle + delay_samples
 
 
+class TestDefaultAgcGain:
+    def test_k_derived_from_integrator(self):
+        """The default AGC takes the installed model's nominal
+        integration constant - no magic fallback."""
+        for integrator in (IdealIntegrator(),
+                           CircuitSurrogateIntegrator()):
+            receiver = EnergyDetectionReceiver(CFG, integrator)
+            assert receiver.agc.integrator_k == integrator.ideal_k
+
+    def test_gainless_integrator_rejected(self):
+        from repro.uwb.integrator import WindowIntegrator
+
+        class Opaque(WindowIntegrator):
+            def window_outputs(self, x, dt):
+                return np.sum(x, axis=-1) * dt
+
+        with pytest.raises(ValueError, match="ideal_k"):
+            EnergyDetectionReceiver(CFG, Opaque())
+
+    def test_explicit_agc_bypasses_derivation(self):
+        from repro.uwb.adc import Adc
+        from repro.uwb.agc import Agc
+        from repro.uwb.frontend import Vga
+        from repro.uwb.integrator import WindowIntegrator
+
+        class Opaque(WindowIntegrator):
+            def window_outputs(self, x, dt):
+                return np.sum(x, axis=-1) * dt
+
+        vga = Vga(step_db=CFG.agc_steps_db, max_db=CFG.agc_range_db)
+        adc = Adc(bits=CFG.adc_bits, vref=CFG.adc_vref)
+        agc = Agc(vga, adc, integrator_k=1e8)
+        receiver = EnergyDetectionReceiver(CFG, Opaque(), vga=vga,
+                                           adc=adc, agc=agc)
+        assert receiver.agc is agc
+
+
 class TestReceiver:
     def test_detects_and_demodulates_clean_packet(self, rng):
         rx, payload, _start = make_rx_waveform(CFG, rng)
