@@ -52,6 +52,59 @@ def write_bench_artifact(name: str, payload: dict) -> pathlib.Path:
     return path
 
 
+def committed_baseline(name: str) -> dict | None:
+    """The committed ``BENCH_<name>.json`` record at the repo root, if
+    it is comparable to this run.
+
+    Wall-clock numbers only mean something against a baseline produced
+    under like conditions, so the record is returned only when the
+    machine architecture, the python major.minor and the
+    ``REPRO_FULL`` scale all match; otherwise ``None`` (callers skip
+    the comparison).
+    """
+    path = _REPO_ROOT / f"BENCH_{name}.json"
+    if not path.exists():
+        return None
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if record.get("machine") != platform.machine():
+        return None
+    mm = ".".join(platform.python_version().split(".")[:2])
+    if ".".join(str(record.get("python", "")).split(".")[:2]) != mm:
+        return None
+    if record.get("full_scale") != full_scale():
+        return None
+    return record
+
+
+def assert_no_wall_regression(name: str, wall: float,
+                              rel: float = 0.10,
+                              abs_slack: float = 0.25) -> None:
+    """Fail when *wall* regresses more than *rel* against the
+    committed comparable baseline.
+
+    ``abs_slack`` is a jitter floor for sub-second baselines: a pure
+    10% band around 0.3 s flakes on scheduler noise alone, so the
+    budget is ``max(base * (1 + rel), base + abs_slack)`` - the
+    relative band governs once the baseline clears
+    ``abs_slack / rel`` seconds, the absolute floor below that.
+    """
+    baseline = committed_baseline(name)
+    if baseline is None:
+        return
+    base_wall = baseline.get("wall_seconds")
+    if not base_wall:
+        return
+    budget = max(base_wall * (1.0 + rel), base_wall + abs_slack)
+    assert wall <= budget, (
+        f"{name} wall-clock regressed: {wall:.3f}s against the "
+        f"committed baseline {base_wall:.3f}s (budget {budget:.3f}s); "
+        "if the slowdown is intended, regenerate the artifact with "
+        "REPRO_BENCH_DIR=. and commit it")
+
+
 @pytest.fixture
 def report_sink(capsys):
     """Print a report so it survives pytest's capture with -s."""

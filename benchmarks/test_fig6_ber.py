@@ -1,6 +1,10 @@
 """Benchmark: regenerate Figure 6 (BER vs Eb/N0, ideal vs circuit)."""
 
-from benchmarks.conftest import full_scale, write_bench_artifact
+from benchmarks.conftest import (
+    assert_no_wall_regression,
+    full_scale,
+    write_bench_artifact,
+)
 from repro.experiments import run_fig6
 
 
@@ -28,3 +32,7 @@ def test_fig6_ber_curves(benchmark, report_sink):
     # grid point (paired noise).
     assert result.monotone
     assert cmp_.ber_b[-1] <= cmp_.ber_a[-1] * 1.10
+    # The staged-pipeline refactor must not cost fig6 wall-clock:
+    # >10% against a comparable committed baseline fails the bench
+    # (with a 0.25 s jitter floor for sub-second fast-scale runs).
+    assert_no_wall_regression("fig6", wall)

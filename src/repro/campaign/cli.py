@@ -9,6 +9,7 @@ runs are cached, resumable and scriptable:
     python -m repro run fig6 --fast          # figure 6, quick budget
     python -m repro run table1 --processes 1 # table 1 (serial timing)
     python -m repro run fig5 table2          # several experiments
+    python -m repro run mui --fast           # multi-user interference
     python -m repro run ablations --full     # paper-scale budgets
     python -m repro cache ls                 # stored results
     python -m repro cache clear              # drop stored results

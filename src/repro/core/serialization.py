@@ -8,11 +8,18 @@ arrays, configuration objects, nested containers):
 * :func:`to_jsonable` / :func:`from_jsonable` - a reversible encoding
   into JSON-compatible structures.  Arrays are either inlined (base64,
   self-contained JSON) or collected into a side table destined for an
-  ``.npz`` payload; dataclasses round-trip by import path; callables
-  round-trip as ``module:qualname`` references; anything else falls
-  back to pickle.
+  ``.npz`` payload; dataclasses round-trip by import path (fields
+  added after a payload was written decode to their defaults, so
+  evolving spec dataclasses stay readable); enum members round-trip
+  by import path *and value* (an ``IntEnum`` is an ``int``, but
+  decaying it would lose the type - e.g. the ``Phase`` inside a
+  ``LinkSpec``); callables round-trip as ``module:qualname``
+  references; anything else falls back to pickle.
 * :func:`stable_hash` - a SHA-256 over the canonical (sorted-keys)
-  JSON encoding, used as the content address of a scenario.
+  JSON encoding, used as the content address of a scenario.  The
+  declarative spec layer (``LinkSpec``, ``NetworkSpec`` and their
+  nested specs) is designed to hash through this path with no pickle
+  fallback, which is what makes campaign cache keys portable.
 
 Encoded markers all use ``__tag__``-style keys; plain dicts whose keys
 could collide with a marker are escaped through ``__map__``, so any

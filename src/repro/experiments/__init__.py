@@ -29,6 +29,13 @@ from repro.experiments.fig5_transient import (
     run_fig5_drive_sweep,
 )
 from repro.experiments.fig6_ber import Fig6Result, run_fig6
+from repro.experiments.mui_network import (
+    MuiResult,
+    default_victim,
+    interference_network,
+    near_far_network,
+    run_mui,
+)
 from repro.experiments.table1_cpu import Table1Result, run_table1
 from repro.experiments.table2_twr import Table2Result, run_table2
 from repro.experiments.phase1_overlap import Phase1Result, run_phase1_overlap
@@ -46,19 +53,24 @@ __all__ = [
     "Fig4Result",
     "Fig5Result",
     "Fig6Result",
+    "MuiResult",
     "NoiseShapingResult",
     "Phase1Result",
     "Table1Result",
     "Table2Result",
     "all_experiments",
+    "default_victim",
     "experiment",
     "experiment_names",
     "get_experiment",
+    "interference_network",
+    "near_far_network",
     "run_agc_ablation",
     "run_fig4",
     "run_fig5",
     "run_fig5_drive_sweep",
     "run_fig6",
+    "run_mui",
     "run_noise_shaping_ablation",
     "run_phase1_overlap",
     "run_table1",

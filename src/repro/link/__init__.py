@@ -6,7 +6,12 @@ that front door for the repository:
 
 * :mod:`repro.link.spec` - :class:`LinkSpec`: a frozen, hashable,
   serializable description of the link (configuration, channel, front
-  end, integrator selection by registry name),
+  end, integrator selection by registry name), plus the multi-user
+  vocabulary: :class:`InterfererSpec` and :class:`NetworkSpec`,
+* :mod:`repro.link.pipeline` - the staged signal-path pipeline the
+  golden model executes chunk by chunk (Tx -> Channel -> Combine ->
+  AnalogFrontEnd -> Decision over a batched :class:`LinkState`), with
+  interferers entering at the :class:`CombineStage`,
 * :mod:`repro.link.registry` - integrator construction routed through
   the :class:`~repro.core.registry.ModelRegistry` (absorbing the old
   ``make_integrator`` string dispatch),
@@ -35,7 +40,22 @@ from repro.link.spec import (
     CHANNEL_KINDS,
     ChannelSpec,
     FrontEndSpec,
+    InterfererSpec,
     LinkSpec,
+    NetworkSpec,
+)
+from repro.link.pipeline import (
+    AnalogFrontEndStage,
+    ChannelStage,
+    CombineStage,
+    DecisionStage,
+    InterfererPath,
+    LinkState,
+    SignalPipeline,
+    Stage,
+    TxStage,
+    build_link_pipeline,
+    run_ber_point,
 )
 from repro.link.registry import (
     COSIM,
@@ -55,10 +75,13 @@ from repro.link.backends import (
     build_bpf,
     build_channel_model,
     build_channel_realization,
+    build_interferer_paths,
+    build_interferer_realization,
     build_receiver,
     calibrate,
     get_backend,
     register_backend,
+    split_network,
 )
 from repro.link.equivalence import EquivalenceResult, run_equivalence
 from repro.link import ops
@@ -67,20 +90,34 @@ __all__ = [
     "ADC_MODES",
     "AGC_MODES",
     "BACKENDS",
+    "AnalogFrontEndStage",
     "Backend",
     "CHANNEL_KINDS",
     "COSIM",
     "ChannelSpec",
+    "ChannelStage",
+    "CombineStage",
+    "DecisionStage",
     "EquivalenceResult",
     "FastsimBackend",
     "FrontEndSpec",
+    "InterfererPath",
+    "InterfererSpec",
     "KernelBackend",
     "LinkSpec",
+    "LinkState",
+    "NetworkSpec",
     "PacketResult",
+    "SignalPipeline",
+    "Stage",
+    "TxStage",
     "build_adc",
     "build_bpf",
     "build_channel_model",
     "build_channel_realization",
+    "build_interferer_paths",
+    "build_interferer_realization",
+    "build_link_pipeline",
     "build_receiver",
     "calibrate",
     "default_link_registry",
@@ -91,5 +128,7 @@ __all__ = [
     "register_backend",
     "register_integrator",
     "resolve_integrator",
+    "run_ber_point",
     "run_equivalence",
+    "split_network",
 ]

@@ -27,13 +27,16 @@ below), which is what makes the cross-backend equivalence harness in
 from __future__ import annotations
 
 import abc
+import dataclasses
+import math
 from dataclasses import dataclass
 from typing import Any, Callable
 
 import numpy as np
 
+from repro.link.pipeline import InterfererPath
 from repro.link.registry import resolve_integrator
-from repro.link.spec import LinkSpec
+from repro.link.spec import InterfererSpec, LinkSpec, NetworkSpec
 from repro.uwb.adc import Adc
 from repro.uwb.agc import Agc, TwoStageAgc
 from repro.uwb.bpf import BandPassFilter
@@ -144,6 +147,75 @@ def calibrate(spec: LinkSpec, *,
     return _LinkCache(spec.config, channel, build_bpf(spec))
 
 
+def build_interferer_realization(intf: InterfererSpec, spec: LinkSpec
+                                 ) -> ChannelRealization | None:
+    """The interferer's own channel realization (independent CM1 draw
+    from its ``realization_seed``), or ``None`` for an ideal path.
+
+    Exactly the victim's construction path, pointed at the
+    interferer's :class:`~repro.link.spec.ChannelSpec` - victim and
+    interferer channels can never diverge in how they are built.
+    """
+    return build_channel_realization(
+        dataclasses.replace(spec, channel=intf.channel))
+
+
+def build_interferer_paths(network: NetworkSpec, *,
+                           cache: _LinkCache | None = None
+                           ) -> tuple[InterfererPath, ...]:
+    """Resolve a :class:`NetworkSpec`'s interferers into calibrated
+    :class:`~repro.link.pipeline.InterfererPath` values.
+
+    SIR calibration: with ``rel_power_db`` set, the interferer's
+    amplitude is chosen so that its received per-bit energy (its own
+    pilot through its own channel and the victim's band-pass) relative
+    to the victim's received per-bit energy equals ``rel_power_db``
+    exactly.  With ``rel_power_db=None`` the amplitude is the victim's
+    unit transmit amplitude and the received ratio emerges from the
+    channels' path losses (the near-far configuration).
+
+    Args:
+        network: the multi-user scenario.
+        cache: the victim's pilot calibration, if the caller already
+            has one (avoids recomputing the pilot).
+    """
+    victim = network.victim
+    cfg = victim.config
+    if cache is None:
+        cache = calibrate(victim)
+    paths = []
+    for intf in network.interferers:
+        realization = build_interferer_realization(intf, victim)
+        if intf.rel_power_db is None:
+            amplitude = 1.0
+        else:
+            if realization is None and cache.channel is None:
+                # Identical pilot chains measure identical energies;
+                # reuse the victim's calibration outright.
+                pilot = cache
+            else:
+                pilot = _LinkCache(cfg, realization, cache.bpf)
+            amplitude = math.sqrt(10.0 ** (intf.rel_power_db / 10.0)
+                                  * cache.eb / pilot.eb)
+        paths.append(InterfererPath(
+            amplitude=amplitude,
+            offset_samples=int(round(intf.timing_offset * cfg.fs)),
+            channel=realization))
+    return tuple(paths)
+
+
+def _as_link_spec(spec: LinkSpec | NetworkSpec,
+                  operation: str) -> LinkSpec:
+    """Reject :class:`NetworkSpec` where only single links run."""
+    if isinstance(spec, NetworkSpec):
+        raise TypeError(
+            f"{operation} runs single links only; multi-user "
+            "NetworkSpec is supported by FastsimBackend.ber_point / "
+            "ber_curve (the golden model synthesizes and sums the "
+            "per-transmitter waveforms)")
+    return spec
+
+
 @dataclass
 class PacketResult:
     """Demodulation outcome of :meth:`FastsimBackend.packet` (duck-type
@@ -226,6 +298,7 @@ class Backend(abc.ABC):
         implementation and differ only through the integrator model
         the spec installs.
         """
+        spec = _as_link_spec(spec, "ranging")
         resolved = self._integrator(spec, integrator, cosim=False)
         if not isinstance(resolved, WindowIntegrator):
             raise ValueError("ranging needs a behavioral integrator "
@@ -241,8 +314,22 @@ class Backend(abc.ABC):
         return twr.run(iterations, rng)
 
 
+def split_network(spec: LinkSpec | NetworkSpec
+                  ) -> tuple[LinkSpec, NetworkSpec | None]:
+    """``(victim, network)`` of a spec that may be multi-user
+    (``network`` is ``None`` for a plain link)."""
+    if isinstance(spec, NetworkSpec):
+        return spec.victim, spec
+    return spec, None
+
+
 class FastsimBackend(Backend):
-    """The vectorized Monte-Carlo golden model (Phase I)."""
+    """The vectorized Monte-Carlo golden model (Phase I).
+
+    The BER operations additionally accept a
+    :class:`~repro.link.spec.NetworkSpec`: the staged pipeline
+    synthesizes one waveform per transmitter, sums the interferers at
+    their calibrated amplitudes, and grades the victim's bits."""
 
     name = "fastsim"
 
@@ -254,7 +341,7 @@ class FastsimBackend(Backend):
             return build_adc(spec)
         return None
 
-    def ber_point(self, spec: LinkSpec, ebn0_db: float,
+    def ber_point(self, spec: LinkSpec | NetworkSpec, ebn0_db: float,
                   rng: np.random.Generator, *,
                   integrator: str | WindowIntegrator | None = None,
                   target_errors: int = 100,
@@ -263,40 +350,66 @@ class FastsimBackend(Backend):
                   chunk_bits: int = 1_000,
                   adaptive: AdaptiveStopping | None = None
                   ) -> tuple[int, int]:
-        resolved = self._integrator(spec, integrator, cosim=False)
+        victim, network = split_network(spec)
+        resolved = self._integrator(victim, integrator, cosim=False)
+        extra: dict[str, Any] = {}
+        if network is not None and network.interferers:
+            # One calibration drives the noise sizing, the interferer
+            # SIR amplitudes and the point's channel/BPF (no rebuild).
+            cache = calibrate(victim)
+            extra = dict(
+                interferers=build_interferer_paths(network, cache=cache),
+                _cache=cache)
+            channel, bpf = cache.channel, cache.bpf
+        else:
+            channel = build_channel_realization(victim)
+            bpf = build_bpf(victim)
         return _simulate_ber_point(
-            spec.config, resolved, float(ebn0_db), rng,
-            channel=build_channel_realization(spec),
-            bpf=build_bpf(spec),
-            squarer_drive=spec.frontend.squarer_drive,
-            adc=self._ber_adc(spec),
+            victim.config, resolved, float(ebn0_db), rng,
+            channel=channel, bpf=bpf,
+            squarer_drive=victim.frontend.squarer_drive,
+            adc=self._ber_adc(victim),
             target_errors=target_errors, max_bits=max_bits,
             min_bits=min_bits, chunk_bits=chunk_bits,
-            adaptive=adaptive)
+            adaptive=adaptive, **extra)
 
-    def ber_curve(self, spec: LinkSpec, ebn0_grid,
+    def ber_curve(self, spec: LinkSpec | NetworkSpec, ebn0_grid,
                   rng: np.random.Generator, *,
                   label: str | None = None,
                   integrator: str | WindowIntegrator | None = None,
                   target_errors: int = 100,
                   max_bits: int = 200_000,
                   min_bits: int = 2_000,
+                  chunk_bits: int = 1_000,
                   workers: int | None = None,
                   adaptive: AdaptiveStopping | None = None) -> BerResult:
-        resolved = self._integrator(spec, integrator, cosim=False)
+        victim, network = split_network(spec)
+        resolved = self._integrator(victim, integrator, cosim=False)
+        extra: dict[str, Any] = {}
+        if network is not None and network.interferers:
+            # One calibration drives the noise sizing, the interferer
+            # SIR amplitudes and every point of the curve (no rebuild).
+            cache = calibrate(victim)
+            extra = dict(
+                interferers=build_interferer_paths(network, cache=cache),
+                _cache=cache)
+            channel, bpf = cache.channel, cache.bpf
+        else:
+            channel = build_channel_realization(victim)
+            bpf = build_bpf(victim)
         return _ber_curve(
-            spec.config, resolved, ebn0_grid, rng,
-            channel=build_channel_realization(spec),
-            bpf=build_bpf(spec),
-            squarer_drive=spec.frontend.squarer_drive,
-            adc=self._ber_adc(spec),
+            victim.config, resolved, ebn0_grid, rng,
+            channel=channel, bpf=bpf,
+            squarer_drive=victim.frontend.squarer_drive,
+            adc=self._ber_adc(victim),
             target_errors=target_errors, max_bits=max_bits,
-            min_bits=min_bits, label=label, workers=workers,
-            adaptive=adaptive)
+            min_bits=min_bits, chunk_bits=chunk_bits, label=label,
+            workers=workers, adaptive=adaptive, **extra)
 
     def packet(self, spec: LinkSpec, waveform: np.ndarray, *,
                integrator: str | WindowIntegrator | None = None
                ) -> PacketResult:
+        spec = _as_link_spec(spec, "FastsimBackend.packet")
         resolved = self._integrator(spec, integrator, cosim=False)
         cfg = spec.config
         waveform = np.asarray(waveform, dtype=float)
@@ -372,6 +485,7 @@ class KernelBackend(Backend):
                integrator: str | WindowIntegrator | None = None,
                t_stop: float | None = None,
                record: bool = False) -> AmsRunResult:
+        spec = _as_link_spec(spec, "KernelBackend.packet")
         resolved = self._integrator(spec, integrator, cosim=True)
         cfg = spec.config
         sim, harvest = build_ams_receiver(
@@ -403,6 +517,7 @@ class KernelBackend(Backend):
         default budget is far smaller than fastsim's - each chunk is a
         full kernel simulation.
         """
+        spec = _as_link_spec(spec, "KernelBackend.ber_point")
         cfg = spec.config
         channel = build_channel_realization(spec)
         cache = calibrate(spec, channel=channel)

@@ -20,7 +20,7 @@ from typing import Any
 import numpy as np
 
 from repro.link.backends import get_backend
-from repro.link.spec import LinkSpec
+from repro.link.spec import LinkSpec, NetworkSpec
 from repro.uwb.fastsim import AdaptiveStopping, BerResult
 from repro.uwb.integrator import WindowIntegrator
 from repro.uwb.ranging import RangingResult
@@ -66,6 +66,7 @@ def ber_curve(spec: LinkSpec, ebn0_grid,
               target_errors: int | None = None,
               max_bits: int | None = None,
               min_bits: int | None = None,
+              chunk_bits: int | None = None,
               workers: int | None = None,
               adaptive: AdaptiveStopping | None = None) -> BerResult:
     """BER versus Eb/N0 through the selected backend."""
@@ -73,7 +74,39 @@ def ber_curve(spec: LinkSpec, ebn0_grid,
         spec, ebn0_grid, rng, label=label, integrator=integrator,
         workers=workers, adaptive=adaptive,
         **_budget(target_errors=target_errors, max_bits=max_bits,
-                  min_bits=min_bits))
+                  min_bits=min_bits, chunk_bits=chunk_bits))
+
+
+def mui_ber_curve(network: NetworkSpec, ebn0_grid,
+                  rng: np.random.Generator, *,
+                  backend: str = "fastsim",
+                  engine: str | None = None,
+                  label: str | None = None,
+                  integrator: str | WindowIntegrator | None = None,
+                  target_errors: int | None = None,
+                  max_bits: int | None = None,
+                  min_bits: int | None = None,
+                  chunk_bits: int | None = None,
+                  workers: int | None = None,
+                  adaptive: AdaptiveStopping | None = None) -> BerResult:
+    """Multi-user BER versus Eb/N0 over a :class:`NetworkSpec`.
+
+    The campaign-facing twin of :func:`ber_curve` for multi-user
+    scenarios: a distinct top-level name keeps network campaigns
+    content-addressed separately from single-link ones, and the
+    explicit :class:`NetworkSpec` requirement catches a plain
+    :class:`LinkSpec` being fanned out by mistake (wrap it in
+    ``NetworkSpec(victim=spec)`` for an interferer-free baseline).
+    """
+    if not isinstance(network, NetworkSpec):
+        raise TypeError("mui_ber_curve needs a NetworkSpec; wrap a "
+                        "plain LinkSpec in NetworkSpec(victim=spec) "
+                        "for the zero-interferer baseline")
+    return _backend(backend, engine).ber_curve(
+        network, ebn0_grid, rng, label=label, integrator=integrator,
+        workers=workers, adaptive=adaptive,
+        **_budget(target_errors=target_errors, max_bits=max_bits,
+                  min_bits=min_bits, chunk_bits=chunk_bits))
 
 
 def ranging(spec: LinkSpec, iterations: int,

@@ -1,0 +1,333 @@
+"""Staged signal-path pipeline of the golden-model link simulation.
+
+The vectorized BER engine used to be one monolithic loop
+(``repro.uwb.fastsim._simulate_ber_point``): pulse train, channel,
+noise, band-pass, squarer, integrator and decision fused into a single
+function body.  That shape made the single-transmitter assumption
+structural - there was no seam where a second transmitter's waveform
+could enter the chunk.  This module is the refactor that opens that
+seam: the chunk computation becomes a :class:`SignalPipeline` of five
+composable stages operating on a batched :class:`LinkState`,
+
+    :class:`TxStage` -> :class:`ChannelStage` -> :class:`CombineStage`
+    -> :class:`AnalogFrontEndStage` -> :class:`DecisionStage`
+
+with multi-user interference entering at the :class:`CombineStage`,
+which synthesizes and sums one waveform per :class:`InterfererPath`
+(relative amplitude, circular timing offset, optional independent
+channel realization) before the victim's AWGN is added.
+
+**Bit-identity contract.** With no interferers the pipeline performs
+exactly the arithmetic of the historic monolithic loop, on exactly the
+same generator draw order (victim bits, then noise), so fixed-seed
+error/bit counters are bit-for-bit identical to the pre-refactor
+engine - cached campaign results and the committed ``BENCH_*`` numbers
+stay valid (``tests/network/test_pipeline_parity.py`` pins this
+against a verbatim copy of the legacy loop).  With interferers, each
+interferer's bits are drawn from the same generator *between* the
+victim bits and the noise, in interferer order.
+
+Stages are deliberately dependency-light (uwb building blocks only);
+:mod:`repro.link.backends` resolves :class:`~repro.link.spec.NetworkSpec`
+interference descriptions into :class:`InterfererPath` values (SIR
+calibration needs the pilot energies, which live with the backends).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.uwb.adc import Adc
+from repro.uwb.bpf import BandPassFilter
+from repro.uwb.channel.ieee802154a import ChannelRealization
+from repro.uwb.config import UwbConfig
+from repro.uwb.integrator import WindowIntegrator
+from repro.uwb.modulation import ppm_waveform, random_bits
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fastsim
+    # imports this module lazily inside its point loop).
+    from repro.uwb.fastsim import AdaptiveStopping
+
+
+@dataclass
+class LinkState:
+    """Batched per-chunk state flowing through the pipeline.
+
+    One state is one Monte-Carlo chunk of ``n`` symbols.  Stages
+    mutate it in place, each consuming the fields of its predecessor:
+
+    Attributes:
+        n: symbols in this chunk.
+        rng: the chunk's entropy source (bit draws and noise).
+        bits: victim payload bits (set by :class:`TxStage`).
+        waveform: clean waveform at the antenna reference plane -
+            victim only after :class:`ChannelStage`, victim plus scaled
+            interferers after :class:`CombineStage`.
+        interferer_bits: payload bits drawn per interferer (diagnostic;
+            the decision only grades the victim's bits).
+        noisy: waveform after AWGN (set by :class:`CombineStage`).
+        squared: squarer output reshaped to ``(n, 2, samples_per_slot)``
+            (set by :class:`AnalogFrontEndStage`).
+        slot_values: integrator outputs per slot, shape ``(n, 2)``,
+            post-ADC when the pipeline quantizes (set by
+            :class:`DecisionStage`).
+        decisions: larger-slot decisions, one int8 bit per symbol.
+    """
+
+    n: int
+    rng: np.random.Generator
+    bits: np.ndarray | None = None
+    waveform: np.ndarray | None = None
+    interferer_bits: list[np.ndarray] = field(default_factory=list)
+    noisy: np.ndarray | None = None
+    squared: np.ndarray | None = None
+    slot_values: np.ndarray | None = None
+    decisions: np.ndarray | None = None
+
+    def error_count(self) -> int:
+        """Victim bit errors decided in this chunk."""
+        if self.decisions is None or self.bits is None:
+            raise ValueError("chunk has not been decided yet")
+        return int(np.count_nonzero(self.decisions != self.bits))
+
+
+class Stage:
+    """One step of the signal path; mutates the :class:`LinkState`."""
+
+    def process(self, state: LinkState) -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class InterfererPath:
+    """One resolved interfering transmitter, ready to synthesize.
+
+    This is the *execution-level* description (everything calibrated
+    to concrete numbers); the declarative description is
+    :class:`repro.link.spec.InterfererSpec`, resolved into paths by
+    :func:`repro.link.backends.build_interferer_paths`.
+
+    Attributes:
+        amplitude: linear amplitude applied to the interferer's unit
+            pulse train (after its channel).  SIR calibration happens
+            upstream: the amplitude already accounts for both pilots'
+            received energies.
+        offset_samples: circular timing offset of the interferer's
+            waveform within the chunk (``np.roll`` convention: positive
+            shifts the interferer later).  Circular shifting keeps the
+            chunk statistics stationary - the few symbols wrapping
+            around the chunk edge see the tail of the interferer
+            stream, which is statistically identical.
+        channel: optional multipath realization of the interferer's own
+            propagation path (``None`` = ideal link); applied and
+            delay-trimmed exactly like the victim's.
+    """
+
+    amplitude: float
+    offset_samples: int = 0
+    channel: ChannelRealization | None = None
+
+    def synthesize(self, state: LinkState, config: UwbConfig) -> np.ndarray:
+        """Draw this interferer's bits from the chunk's generator and
+        return its scaled, offset waveform (length ``n *
+        samples_per_symbol``)."""
+        n_sym = config.samples_per_symbol
+        bits = random_bits(state.n, state.rng)
+        state.interferer_bits.append(bits)
+        wave = ppm_waveform(bits, config)
+        if self.channel is not None:
+            wave = self.channel.apply(wave)[
+                self.channel.delay_samples:
+                self.channel.delay_samples + state.n * n_sym]
+        if self.offset_samples:
+            wave = np.roll(wave, self.offset_samples)
+        return self.amplitude * wave
+
+
+@dataclass
+class TxStage(Stage):
+    """Victim transmitter: draw payload bits, synthesize the 2-PPM
+    pulse train."""
+
+    config: UwbConfig
+
+    def process(self, state: LinkState) -> None:
+        state.bits = random_bits(state.n, state.rng)
+        state.waveform = ppm_waveform(state.bits, self.config)
+
+
+@dataclass
+class ChannelStage(Stage):
+    """Victim propagation: convolve with the realization and trim the
+    propagation delay to whole symbols (a no-op on the ideal link)."""
+
+    config: UwbConfig
+    channel: ChannelRealization | None = None
+
+    def process(self, state: LinkState) -> None:
+        if self.channel is None:
+            return
+        n_sym = self.config.samples_per_symbol
+        state.waveform = self.channel.apply(state.waveform)[
+            self.channel.delay_samples:
+            self.channel.delay_samples + state.n * n_sym]
+
+
+@dataclass
+class CombineStage(Stage):
+    """Sum interfering transmitters into the victim waveform, then add
+    the victim-referred AWGN.
+
+    Interferers are synthesized per chunk (fresh bits from the chunk's
+    generator, in path order) and summed at their calibrated
+    amplitudes.  ``sigma`` is sized against the *victim's* pilot energy
+    - interference is extra disturbance on top of the thermal-noise
+    operating point, matching the standard SIR convention.
+
+    With no interferers the victim waveform passes through untouched
+    (not even an add of zero), preserving the single-link
+    bit-identity contract of the module docstring.
+    """
+
+    config: UwbConfig
+    sigma: float
+    interferers: tuple[InterfererPath, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.interferers = tuple(self.interferers)
+        if self.sigma < 0:
+            raise ValueError("sigma must be >= 0")
+
+    def process(self, state: LinkState) -> None:
+        for path in self.interferers:
+            state.waveform = state.waveform + path.synthesize(
+                state, self.config)
+        state.noisy = state.waveform + state.rng.normal(
+            0.0, self.sigma, size=len(state.waveform))
+
+
+@dataclass
+class AnalogFrontEndStage(Stage):
+    """Receiver analog front end: band-pass, AGC drive scaling, squarer
+    (output reshaped into per-slot windows)."""
+
+    config: UwbConfig
+    bpf: BandPassFilter
+    scale: float
+
+    def process(self, state: LinkState) -> None:
+        cfg = self.config
+        filtered = self.bpf(state.noisy)[:state.n * cfg.samples_per_symbol]
+        driven = self.scale * filtered
+        state.squared = np.square(driven).reshape(
+            state.n, 2, cfg.samples_per_slot)
+
+
+@dataclass
+class DecisionStage(Stage):
+    """Integrator model per slot, optional ADC, larger-slot decision."""
+
+    config: UwbConfig
+    integrator: WindowIntegrator
+    adc: Adc | None = None
+
+    def process(self, state: LinkState) -> None:
+        values = self.integrator.window_outputs(state.squared,
+                                                self.config.dt)
+        if self.adc is not None:
+            values = self.adc.quantize(values)
+        state.slot_values = values
+        state.decisions = (values[:, 1] > values[:, 0]).astype(np.int8)
+
+
+@dataclass
+class SignalPipeline:
+    """An ordered stage composition executable chunk by chunk."""
+
+    stages: tuple[Stage, ...]
+
+    def __post_init__(self) -> None:
+        self.stages = tuple(self.stages)
+        if not self.stages:
+            raise ValueError("pipeline needs at least one stage")
+
+    def run_chunk(self, n: int, rng: np.random.Generator) -> LinkState:
+        """Push one fresh chunk of *n* symbols through every stage."""
+        if n <= 0:
+            raise ValueError("chunk size must be positive")
+        state = LinkState(n=n, rng=rng)
+        for stage in self.stages:
+            stage.process(state)
+        return state
+
+    def stage(self, kind: type) -> Stage:
+        """The first stage of class *kind* (test/diagnostic hook)."""
+        for stage in self.stages:
+            if isinstance(stage, kind):
+                return stage
+        raise KeyError(f"no {kind.__name__} in pipeline")
+
+
+def build_link_pipeline(config: UwbConfig, *,
+                        integrator: WindowIntegrator,
+                        bpf: BandPassFilter,
+                        sigma: float,
+                        scale: float,
+                        channel: ChannelRealization | None = None,
+                        adc: Adc | None = None,
+                        interferers: Sequence[InterfererPath] = ()
+                        ) -> SignalPipeline:
+    """The canonical five-stage BER pipeline for one operating point.
+
+    Args:
+        config: link timing/sampling configuration.
+        integrator: resolved integrator model deciding slot energies.
+        bpf: receiver band-pass (pass the calibration pilot's filter so
+            noise sizing and the data path agree).
+        sigma: per-sample AWGN standard deviation at this Eb/N0.
+        scale: drive scaling mapping the clean filtered peak onto the
+            squarer operating point.
+        channel: victim multipath realization (``None`` = ideal link).
+        adc: optional converter in the decision path.
+        interferers: resolved interfering transmitters summed in at the
+            :class:`CombineStage`.
+    """
+    return SignalPipeline(stages=(
+        TxStage(config),
+        ChannelStage(config, channel),
+        CombineStage(config, sigma, tuple(interferers)),
+        AnalogFrontEndStage(config, bpf, scale),
+        DecisionStage(config, integrator, adc),
+    ))
+
+
+def run_ber_point(pipeline: SignalPipeline, rng: np.random.Generator, *,
+                  target_errors: int = 100,
+                  max_bits: int = 200_000,
+                  min_bits: int = 2_000,
+                  chunk_bits: int = 1_000,
+                  adaptive: "AdaptiveStopping | None" = None
+                  ) -> tuple[int, int]:
+    """Monte-Carlo chunk loop over *pipeline* (the historic stopping
+    rule, verbatim: hard ``target_errors`` / ``max_bits`` caps plus the
+    optional sequential :class:`~repro.uwb.fastsim.AdaptiveStopping`
+    early exit checked after each chunk past ``min_bits``).
+
+    Returns:
+        ``(errors, bits)`` counters.
+    """
+    errors = 0
+    bits_done = 0
+    while bits_done < max_bits and (errors < target_errors
+                                    or bits_done < min_bits):
+        if (adaptive is not None and bits_done >= min_bits
+                and adaptive.resolved(errors, bits_done)):
+            break
+        n = min(chunk_bits, max_bits - bits_done)
+        state = pipeline.run_chunk(n, rng)
+        errors += state.error_count()
+        bits_done += n
+    return errors, bits_done

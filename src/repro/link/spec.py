@@ -10,9 +10,18 @@ hashable, serializable value.  Every backend
 written against a spec runs unchanged on the vectorized golden model,
 the AMS kernel testbench, or any future backend.
 
+Multi-user scenarios compose on top: an :class:`InterfererSpec`
+describes one interfering transmitter (received power relative to the
+victim, timing offset, its own channel), and a :class:`NetworkSpec`
+bundles a victim :class:`LinkSpec` with any number of interferers -
+the declarative input of the multi-user-interference / coexistence
+workloads (``FastsimBackend.ber_point`` / ``ber_curve`` accept it
+wherever they accept a ``LinkSpec``).
+
 Specs round-trip through :mod:`repro.core.serialization` (they are
 plain frozen dataclasses), so campaign content addresses and cache
-keys can be built directly from them via :meth:`LinkSpec.key`.
+keys can be built directly from them via :meth:`LinkSpec.key` /
+:meth:`NetworkSpec.key`.
 """
 
 from __future__ import annotations
@@ -33,6 +42,37 @@ CHANNEL_KINDS = ("none", "cm1")
 ADC_MODES = ("auto", "config", "none")
 #: AGC policies of the packet-level receiver.
 AGC_MODES = ("single", "two_stage")
+
+
+class SpecCodec:
+    """Identity / persistence helpers shared by the declarative specs
+    (:class:`LinkSpec`, :class:`NetworkSpec`): stable content hashing
+    for campaign cache keys and self-contained JSON round-trips."""
+
+    def key(self) -> str:
+        """Stable content hash of this spec (campaign cache keys)."""
+        from repro.core.serialization import stable_hash
+
+        return stable_hash(self)
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Self-contained JSON encoding (see
+        :mod:`repro.core.serialization`)."""
+        from repro.core.serialization import to_jsonable
+
+        return json.dumps(to_jsonable(self), indent=indent,
+                          sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str):
+        """Inverse of :meth:`to_json`."""
+        from repro.core.serialization import from_jsonable
+
+        spec = from_jsonable(json.loads(text))
+        if not isinstance(spec, cls):
+            raise ValueError(f"not a serialized {cls.__name__}: "
+                             f"{type(spec).__name__}")
+        return spec
 
 
 @dataclass(frozen=True)
@@ -125,7 +165,7 @@ class FrontEndSpec:
 
 
 @dataclass(frozen=True)
-class LinkSpec:
+class LinkSpec(SpecCodec):
     """The one declarative description of a simulated link.
 
     Attributes:
@@ -193,29 +233,110 @@ class LinkSpec:
         """Copy with :class:`FrontEndSpec` fields changed."""
         return replace(self, frontend=replace(self.frontend, **changes))
 
-    # -- identity / persistence ----------------------------------------
+    # -- identity / persistence: key/to_json/from_json via SpecCodec --
 
-    def key(self) -> str:
-        """Stable content hash of this spec (campaign cache keys)."""
-        from repro.core.serialization import stable_hash
 
-        return stable_hash(self)
+@dataclass(frozen=True)
+class InterfererSpec:
+    """One interfering transmitter of a multi-user scenario.
 
-    def to_json(self, *, indent: int | None = None) -> str:
-        """Self-contained JSON encoding (see
-        :mod:`repro.core.serialization`)."""
-        from repro.core.serialization import to_jsonable
+    The interferer transmits the same 2-PPM signaling as the victim
+    (same pulse, same symbol timing base) with independent random
+    payload bits, entering the victim's receiver through the
+    :class:`~repro.link.pipeline.CombineStage`.
 
-        return json.dumps(to_jsonable(self), indent=indent,
-                          sort_keys=True)
+    Attributes:
+        rel_power_db: received interferer power relative to the
+            victim's received power, in dB (the negated
+            signal-to-interference ratio: ``rel_power_db = -SIR``).
+            The backend calibrates the interferer's amplitude against
+            both pilots' post-channel, post-band-pass energies, so the
+            value is an exact *received* power ratio regardless of the
+            channels involved.  ``None`` switches to *physical*
+            power accounting: the interferer transmits at the victim's
+            unit amplitude and its received power emerges from its own
+            channel's path loss - the near-far configuration, where
+            relative power is set by the two distances through
+            :func:`repro.uwb.channel.ieee802154a.path_loss_db`.
+        timing_offset: offset of the interferer's symbol clock relative
+            to the victim's, in seconds (positive = interferer late).
+            Applied as a circular shift within each Monte-Carlo chunk;
+            an offset of 0 means chip-aligned transmitters.
+        channel: the interferer's own propagation channel.  With kind
+            ``"cm1"`` an *independent* CM1 realization is drawn from
+            ``channel.realization_seed``, so victim and interferers
+            never share fading.
+    """
 
-    @classmethod
-    def from_json(cls, text: str) -> "LinkSpec":
-        """Inverse of :meth:`to_json`."""
-        from repro.core.serialization import from_jsonable
+    rel_power_db: float | None = 0.0
+    timing_offset: float = 0.0
+    channel: ChannelSpec = ChannelSpec()
 
-        spec = from_jsonable(json.loads(text))
-        if not isinstance(spec, cls):
-            raise ValueError(f"not a serialized {cls.__name__}: "
-                             f"{type(spec).__name__}")
-        return spec
+    def __post_init__(self) -> None:
+        if self.rel_power_db is not None:
+            object.__setattr__(self, "rel_power_db",
+                               float(self.rel_power_db))
+        object.__setattr__(self, "timing_offset",
+                           float(self.timing_offset))
+        if not isinstance(self.channel, ChannelSpec):
+            raise TypeError("channel must be a ChannelSpec, got "
+                            f"{type(self.channel).__name__}")
+
+    @property
+    def sir_db(self) -> float | None:
+        """Signal-to-interference ratio implied by ``rel_power_db``
+        (``None`` in the physical / near-far configuration)."""
+        if self.rel_power_db is None:
+            return None
+        return -self.rel_power_db
+
+
+@dataclass(frozen=True)
+class NetworkSpec(SpecCodec):
+    """A victim link plus N interfering transmitters.
+
+    The declarative input of the multi-user-interference and
+    coexistence workloads: ``FastsimBackend.ber_point`` /
+    ``ber_curve`` (and the campaign op
+    :func:`repro.link.ops.mui_ber_curve`) accept a ``NetworkSpec``
+    wherever they accept a :class:`LinkSpec`, grading the victim's
+    bits while every interferer's waveform is summed into the chunk.
+    With an empty interferer tuple the network degenerates to its
+    victim link exactly (bit-identical counters).
+
+    Attributes:
+        victim: the link under test (its Eb/N0 defines the noise, its
+            frontend/integrator the receiver).
+        interferers: interfering transmitters, in synthesis order
+            (their bit draws consume the scenario generator in this
+            order, so the tuple order is part of the content identity).
+    """
+
+    victim: LinkSpec = LinkSpec()
+    interferers: tuple[InterfererSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.victim, LinkSpec):
+            raise TypeError("victim must be a LinkSpec, got "
+                            f"{type(self.victim).__name__}")
+        interferers = tuple(self.interferers)
+        for intf in interferers:
+            if not isinstance(intf, InterfererSpec):
+                raise TypeError("interferers must be InterfererSpec "
+                                f"values, got {type(intf).__name__}")
+        object.__setattr__(self, "interferers", interferers)
+
+    @property
+    def n_interferers(self) -> int:
+        return len(self.interferers)
+
+    # -- evolution helpers ---------------------------------------------
+
+    def with_victim(self, victim: LinkSpec) -> "NetworkSpec":
+        """Copy with the victim link replaced."""
+        return replace(self, victim=victim)
+
+    def with_interferers(self, *interferers: InterfererSpec
+                         ) -> "NetworkSpec":
+        """Copy with the interferer set replaced."""
+        return replace(self, interferers=tuple(interferers))

@@ -106,8 +106,21 @@ class ChannelRealization:
     def apply(self, waveform: np.ndarray, extra_tail: int = 0) -> np.ndarray:
         """Convolve *waveform* with the channel (delay included).
 
-        The output length is ``len(waveform) + delay_samples +
-        len(taps) - 1 + extra_tail``.
+        The output is ``delay_samples`` zeros, then the full linear
+        convolution ``waveform * taps`` (whose multipath ringing
+        extends ``len(taps) - 1`` samples past the input), then
+        ``extra_tail`` literal zeros - total length ``delay_samples +
+        len(waveform) + len(taps) - 1 + extra_tail``.
+
+        ``extra_tail`` exists for consumers that slice a *fixed-size*
+        window out of the result: a chunked receiver reading
+        ``out[delay_samples : delay_samples + n]`` needs ``n <=
+        len(waveform) + len(taps) - 1`` to stay in bounds, and padding
+        the tail keeps such slices valid when ``n`` runs past the
+        convolution (e.g. a listening window longer than the chunk, as
+        in the ranging exchange).  The padding is appended *after* the
+        ringing, so it never truncates or overlaps multipath energy -
+        ``apply(w, extra_tail=k)[:-k]`` equals ``apply(w)`` exactly.
         """
         out = np.convolve(waveform, self.taps)
         pad = np.zeros(self.delay_samples)
@@ -162,10 +175,34 @@ class Cm1Channel:
         return math.sqrt(rng.gamma(m, mean_power / m))
 
     def realize(self, distance: float,
-                rng: np.random.Generator) -> ChannelRealization:
-        """Draw one channel realization at *distance* meters."""
+                rng: np.random.Generator, *,
+                rel_delay: float = 0.0) -> ChannelRealization:
+        """Draw one channel realization at *distance* meters.
+
+        Args:
+            distance: link distance (drives the flight-time delay and,
+                when enabled, the path loss).
+            rng: entropy source of the stochastic tap draw.
+            rel_delay: extra delay (s) added on top of the flight
+                time, folded into ``delay_samples``.  May be negative
+                as long as the total delay stays non-negative.  Note
+                the scope: this shifts the realization's *absolute*
+                arrival time, so it matters to consumers that keep the
+                delay (packet-level receivers, ranging).  The BER
+                pipeline trims every transmitter by its own
+                ``delay_samples`` (symbol-synchronous alignment) and
+                applies timing offsets as a circular shift instead -
+                see ``InterfererSpec.timing_offset`` /
+                ``InterfererPath.offset_samples``.
+        """
         if distance <= 0:
             raise ValueError("distance must be positive")
+        total_delay = distance / SPEED_OF_LIGHT + rel_delay
+        if total_delay < 0:
+            raise ValueError(
+                "rel_delay must not advance the signal before t=0 "
+                f"(flight time {distance / SPEED_OF_LIGHT:.3e}s + "
+                f"rel_delay {rel_delay:.3e}s < 0)")
         p = self.params
         n_taps = int(round(self.max_excess_delay * self.fs)) + 1
         taps = np.zeros(n_taps)
@@ -206,6 +243,6 @@ class Cm1Channel:
         if self.apply_path_loss:
             taps *= 10.0 ** (-path_loss_db(distance, p) / 20.0)
 
-        delay = int(round(distance / SPEED_OF_LIGHT * self.fs))
+        delay = int(round(total_delay * self.fs))
         return ChannelRealization(taps=taps, delay_samples=delay,
                                   fs=self.fs, distance=distance)

@@ -10,9 +10,18 @@ figure-6 BER curves and the Phase-I overlap benchmark.
 
 The signal chain per chunk of symbols:
 
-    2-PPM pulse train -> [CM1 channel] -> AWGN (per Eb/N0) -> BPF ->
-    drive scaling -> squarer -> integrator model per slot -> [ADC] ->
-    larger-slot decision
+    2-PPM pulse train -> [CM1 channel] -> [+ interferers] ->
+    AWGN (per Eb/N0) -> BPF -> drive scaling -> squarer ->
+    integrator model per slot -> [ADC] -> larger-slot decision
+
+The chunk computation itself lives in the staged
+:mod:`repro.link.pipeline` (Tx -> Channel -> Combine -> AnalogFrontEnd
+-> Decision); this module keeps the Monte-Carlo bookkeeping (stopping
+rules, Wilson intervals, curve assembly) and the pilot calibration.
+Multi-user scenarios enter through the ``interferers`` argument
+(resolved :class:`repro.link.pipeline.InterfererPath` values, normally
+produced from a :class:`repro.link.spec.NetworkSpec` by the fastsim
+backend).
 
 Swapping the integrator model (ideal / two-pole / circuit surrogate)
 reproduces the paper's ideal-versus-ELDO BER comparison.
@@ -32,7 +41,39 @@ from repro.uwb.channel.awgn import noise_sigma_for_ebn0
 from repro.uwb.channel.ieee802154a import ChannelRealization
 from repro.uwb.config import UwbConfig
 from repro.uwb.integrator import IdealIntegrator, WindowIntegrator
-from repro.uwb.modulation import ppm_waveform, random_bits
+from repro.uwb.modulation import ppm_waveform
+
+
+#: memoized two-sided z-scores per confidence level: wilson_interval
+#: sits inside the adaptive-stopping hot loop (called after every
+#: Monte-Carlo chunk), so the inverse-normal lookup must not re-enter
+#: scipy's import machinery per call.
+_Z_SCORES: dict[float, float] = {}
+
+#: scipy-free fallback for the default confidence level; the value is
+#: ``float(scipy.special.ndtri(0.975))`` verbatim, so both code paths
+#: produce bit-identical intervals.
+_Z_FALLBACK = {0.95: 1.959963984540054}
+
+
+def _wilson_z(confidence: float) -> float:
+    """Two-sided z-score of *confidence*, memoized per level."""
+    z = _Z_SCORES.get(confidence)
+    if z is None:
+        try:
+            from scipy.special import ndtri
+        except ImportError:
+            z = _Z_FALLBACK.get(confidence)
+            if z is None:
+                raise RuntimeError(
+                    f"confidence {confidence} needs scipy for the "
+                    "inverse normal CDF (only "
+                    f"{sorted(_Z_FALLBACK)} ship a built-in z-score)"
+                ) from None
+        else:
+            z = float(ndtri(0.5 + confidence / 2.0))
+        _Z_SCORES[confidence] = z
+    return z
 
 
 def wilson_interval(errors: int, bits: int,
@@ -58,9 +99,7 @@ def wilson_interval(errors: int, bits: int,
         raise ValueError("need 0 <= errors <= bits")
     if bits == 0:
         return 0.0, 1.0
-    from scipy.special import ndtri
-
-    z = float(ndtri(0.5 + confidence / 2.0))
+    z = _wilson_z(confidence)
     p = errors / bits
     z2 = z * z
     denom = 1.0 + z2 / bits
@@ -199,9 +238,16 @@ def _simulate_ber_point(config: UwbConfig, integrator: WindowIntegrator,
                         min_bits: int = 2_000,
                         chunk_bits: int = 1_000,
                         adaptive: AdaptiveStopping | None = None,
+                        interferers: tuple = (),
                         _cache: _LinkCache | None = None
                         ) -> tuple[int, int]:
     """Monte-Carlo BER at one Eb/N0 point.
+
+    The chunk computation runs through the staged
+    :class:`repro.link.pipeline.SignalPipeline`; with no interferers
+    it is bit-identical to the historic monolithic loop (same
+    generator draw order, same arithmetic - see the pipeline module's
+    bit-identity contract).
 
     Args:
         config: link configuration (ideal synchronizer assumed).
@@ -219,42 +265,30 @@ def _simulate_ber_point(config: UwbConfig, integrator: WindowIntegrator,
             as the estimate is resolved (checked after each chunk once
             ``min_bits`` have been simulated); ``target_errors`` /
             ``max_bits`` remain hard caps.
+        interferers: resolved
+            :class:`repro.link.pipeline.InterfererPath` transmitters
+            summed into the chunk before the noise (multi-user
+            scenarios; see ``FastsimBackend.ber_point`` over a
+            ``NetworkSpec``).
 
     Returns:
         ``(errors, bits)`` counters.
     """
+    # Imported here, not at module top: repro.link.backends imports
+    # this module, so a top-level import of repro.link would cycle.
+    from repro.link.pipeline import build_link_pipeline, run_ber_point
+
     config.validate()
     cache = _cache or _LinkCache(config, channel, bpf)
     sigma = noise_sigma_for_ebn0(cache.eb, ebn0_db, config.fs)
     scale = squarer_drive / cache.peak
-
-    n_sym = config.samples_per_symbol
-    n_slot = config.samples_per_slot
-    errors = 0
-    bits_done = 0
-    while bits_done < max_bits and (errors < target_errors
-                                    or bits_done < min_bits):
-        if (adaptive is not None and bits_done >= min_bits
-                and adaptive.resolved(errors, bits_done)):
-            break
-        n = min(chunk_bits, max_bits - bits_done)
-        bits = random_bits(n, rng)
-        wave = ppm_waveform(bits, config)
-        if cache.channel is not None:
-            wave = cache.channel.apply(wave)[
-                cache.channel.delay_samples:
-                cache.channel.delay_samples + n * n_sym]
-        noisy = wave + rng.normal(0.0, sigma, size=len(wave))
-        filtered = cache.bpf(noisy)[:n * n_sym]
-        driven = scale * filtered
-        squared = np.square(driven).reshape(n, 2, n_slot)
-        values = integrator.window_outputs(squared, config.dt)
-        if adc is not None:
-            values = adc.quantize(values)
-        decided = (values[:, 1] > values[:, 0]).astype(np.int8)
-        errors += int(np.count_nonzero(decided != bits))
-        bits_done += n
-    return errors, bits_done
+    pipeline = build_link_pipeline(
+        config, integrator=integrator, bpf=cache.bpf, sigma=sigma,
+        scale=scale, channel=cache.channel, adc=adc,
+        interferers=tuple(interferers))
+    return run_ber_point(pipeline, rng, target_errors=target_errors,
+                         max_bits=max_bits, min_bits=min_bits,
+                         chunk_bits=chunk_bits, adaptive=adaptive)
 
 
 def _ber_curve(config: UwbConfig, integrator: WindowIntegrator,
@@ -266,9 +300,12 @@ def _ber_curve(config: UwbConfig, integrator: WindowIntegrator,
                target_errors: int = 100,
                max_bits: int = 200_000,
                min_bits: int = 2_000,
+               chunk_bits: int = 1_000,
                label: str | None = None,
                workers: int | None = None,
-               adaptive: AdaptiveStopping | None = None) -> BerResult:
+               adaptive: AdaptiveStopping | None = None,
+               interferers: tuple = (),
+               _cache: _LinkCache | None = None) -> BerResult:
     """BER versus Eb/N0 for one integrator model (figure-6 workload).
 
     Args:
@@ -282,8 +319,10 @@ def _ber_curve(config: UwbConfig, integrator: WindowIntegrator,
         adaptive: optional per-point sequential stopping policy (see
             :class:`AdaptiveStopping`); the returned Wilson bounds use
             its confidence level.
+        interferers: resolved interfering transmitters forwarded to
+            every point (multi-user scenarios).
     """
-    cache = _LinkCache(config, channel, bpf)
+    cache = _cache or _LinkCache(config, channel, bpf)
     ebn0_grid = np.asarray(ebn0_grid, dtype=float)
     errors = np.zeros(len(ebn0_grid), dtype=np.int64)
     bits = np.zeros(len(ebn0_grid), dtype=np.int64)
@@ -300,7 +339,8 @@ def _ber_curve(config: UwbConfig, integrator: WindowIntegrator,
                             squarer_drive=squarer_drive, adc=adc,
                             target_errors=target_errors,
                             max_bits=max_bits, min_bits=min_bits,
-                            adaptive=adaptive, _cache=cache)))
+                            chunk_bits=chunk_bits, adaptive=adaptive,
+                            interferers=interferers, _cache=cache)))
         for i, result in enumerate(runner.run()):
             errors[i], bits[i] = result.value
     else:
@@ -309,7 +349,9 @@ def _ber_curve(config: UwbConfig, integrator: WindowIntegrator,
                 config, integrator, float(point), rng, channel=channel,
                 bpf=bpf, squarer_drive=squarer_drive, adc=adc,
                 target_errors=target_errors, max_bits=max_bits,
-                min_bits=min_bits, adaptive=adaptive, _cache=cache)
+                min_bits=min_bits, chunk_bits=chunk_bits,
+                adaptive=adaptive,
+                interferers=interferers, _cache=cache)
             errors[i] = e
             bits[i] = b
     ber = errors / np.maximum(bits, 1)

@@ -24,6 +24,7 @@ EXPECTED_OUTPUT = {
     "ranging_study.py": "Table 2 - TWR",
     "methodology_flow.py": "integrate_dump@III",
     "circuit_playground.py": "Two-stage amplifier bias",
+    "network_study.py": "Multi-user interference",
 }
 
 

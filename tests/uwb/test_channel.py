@@ -189,3 +189,57 @@ class TestAwgn:
         s1 = noise_sigma_for_ebn0(1e-12, ebn0, 20e9)
         s2 = noise_sigma_for_ebn0(1e-12, ebn0 + 1.0, 20e9)
         assert s2 < s1
+
+
+class TestRelDelayAndTail:
+    """rel_delay timing offsets and apply() tail-length semantics."""
+
+    def test_rel_delay_shifts_delay_samples(self):
+        chan = Cm1Channel(20e9)
+        base = chan.realize(9.9, np.random.default_rng(31))
+        late = chan.realize(9.9, np.random.default_rng(31),
+                            rel_delay=5e-9)
+        assert late.delay_samples == base.delay_samples + 100
+        # The tap draw consumes the same entropy either way.
+        assert np.array_equal(late.taps, base.taps)
+
+    def test_rel_delay_negative_within_flight_time(self):
+        chan = Cm1Channel(20e9)
+        base = chan.realize(9.9, np.random.default_rng(32))
+        early = chan.realize(9.9, np.random.default_rng(32),
+                             rel_delay=-1e-9)
+        assert early.delay_samples == base.delay_samples - 20
+
+    def test_rel_delay_cannot_precede_t0(self):
+        chan = Cm1Channel(20e9)
+        with pytest.raises(ValueError):
+            chan.realize(3.0, np.random.default_rng(33),
+                         rel_delay=-1.0)
+
+    def test_extra_tail_appends_after_ringing(self):
+        """extra_tail zeros come after the full convolution - they
+        never truncate multipath energy."""
+        chan = Cm1Channel(20e9)
+        real = chan.realize(3.0, np.random.default_rng(34))
+        x = np.random.default_rng(35).normal(size=400)
+        plain = real.apply(x)
+        padded = real.apply(x, extra_tail=64)
+        assert len(padded) == len(plain) + 64
+        assert np.array_equal(padded[: len(plain)], plain)
+        assert np.all(padded[len(plain):] == 0.0)
+
+    def test_extra_tail_keeps_chunk_window_slices_valid(self):
+        """The contract chunked consumers rely on: a fixed window of
+        n samples starting at the flight delay is in bounds whenever
+        extra_tail covers n - (len(x) + len(taps) - 1), and the
+        in-bounds part is unchanged by the padding."""
+        chan = Cm1Channel(20e9)
+        real = chan.realize(3.0, np.random.default_rng(36))
+        x = np.random.default_rng(37).normal(size=200)
+        ring = len(x) + len(real.taps) - 1
+        n = ring + 50  # listening window outruns the ringing
+        d = real.delay_samples
+        window = real.apply(x, extra_tail=n - ring)[d: d + n]
+        assert len(window) == n
+        assert np.array_equal(window[:ring], real.apply(x)[d:])
+        assert np.all(window[ring:] == 0.0)

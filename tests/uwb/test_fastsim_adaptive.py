@@ -141,3 +141,42 @@ class TestBerCurveBounds:
                           np.random.default_rng(3), **self.BUDGET)
         text = curve.format_table()
         assert "errors" in text and "[" in text
+
+
+class TestWilsonZScore:
+    """Memoized z-scores + the scipy-free fallback (hot-loop hygiene:
+    wilson_interval runs after every adaptive Monte-Carlo chunk)."""
+
+    def test_memoized_per_confidence(self, monkeypatch):
+        import sys
+
+        from repro.uwb import fastsim
+
+        monkeypatch.setattr(fastsim, "_Z_SCORES", {})
+        first = wilson_interval(3, 100, 0.8)
+        assert 0.8 in fastsim._Z_SCORES
+        # Break the import machinery: the memo must serve the second
+        # call without ever touching scipy again.
+        monkeypatch.setitem(sys.modules, "scipy.special", None)
+        assert wilson_interval(3, 100, 0.8) == first
+
+    def test_fallback_matches_scipy_exactly(self):
+        from scipy.special import ndtri
+
+        from repro.uwb import fastsim
+
+        assert fastsim._Z_FALLBACK[0.95] == float(ndtri(0.975))
+
+    def test_scipy_free_default_confidence(self, monkeypatch):
+        import sys
+
+        from repro.uwb import fastsim
+
+        monkeypatch.setattr(fastsim, "_Z_SCORES", {})
+        monkeypatch.setitem(sys.modules, "scipy.special", None)
+        # 0.95 works from the built-in constant...
+        lo, hi = wilson_interval(5, 1000, 0.95)
+        assert 0.0 < lo < 5e-3 < hi
+        # ...other levels need scipy and say so.
+        with pytest.raises(RuntimeError, match="scipy"):
+            wilson_interval(5, 1000, 0.9)
