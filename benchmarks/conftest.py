@@ -105,6 +105,35 @@ def assert_no_wall_regression(name: str, wall: float,
         "REPRO_BENCH_DIR=. and commit it")
 
 
+def assert_no_throughput_regression(name: str, points_per_second: float,
+                                    rel: float = 0.10,
+                                    abs_slack: float = 0.25) -> None:
+    """Fail when *points_per_second* regresses more than *rel* against
+    the committed comparable baseline.
+
+    The exact throughput twin of :func:`assert_no_wall_regression`:
+    the wall budget ``max(base_wall * (1 + rel), base_wall +
+    abs_slack)`` translates into a throughput floor of ``base_points /
+    budget``, so the two guards can never disagree on the same
+    workload.  Baselines recorded before the metric existed (no
+    ``points_per_second``) are skipped.
+    """
+    baseline = committed_baseline(name)
+    if baseline is None:
+        return
+    base_pps = baseline.get("points_per_second")
+    base_wall = baseline.get("wall_seconds")
+    if not base_pps or not base_wall:
+        return
+    budget = max(base_wall * (1.0 + rel), base_wall + abs_slack)
+    floor = base_pps * base_wall / budget
+    assert points_per_second >= floor, (
+        f"{name} throughput regressed: {points_per_second:.2f} "
+        f"points/s against the committed baseline {base_pps:.2f} "
+        f"points/s (floor {floor:.2f}); if the slowdown is intended, "
+        "regenerate the artifact with REPRO_BENCH_DIR=. and commit it")
+
+
 @pytest.fixture
 def report_sink(capsys):
     """Print a report so it survives pytest's capture with -s."""

@@ -1,6 +1,7 @@
 """Benchmark: regenerate Figure 6 (BER vs Eb/N0, ideal vs circuit)."""
 
 from benchmarks.conftest import (
+    assert_no_throughput_regression,
     assert_no_wall_regression,
     full_scale,
     write_bench_artifact,
@@ -21,8 +22,14 @@ def test_fig6_ber_curves(benchmark, report_sink):
     benchmark.extra_info["ber_ideal"] = [float(x) for x in cmp_.ber_a]
     benchmark.extra_info["ber_circuit"] = [float(x) for x in cmp_.ber_b]
     benchmark.extra_info["winner_high_snr"] = cmp_.wins_at_high_snr()
+    # Throughput metric of the batched sweep engine: BER points
+    # resolved per wall second (both curves of the figure count).
+    points = len(grid) * 2
+    pps = points / wall if wall > 0 else 0.0
     write_bench_artifact("fig6", {
         "wall_seconds": round(wall, 4),
+        "points": points,
+        "points_per_second": round(pps, 2),
         "ebn0_db": [float(x) for x in cmp_.ebn0_db],
         "ber_ideal": [float(x) for x in cmp_.ber_a],
         "ber_circuit": [float(x) for x in cmp_.ber_b],
@@ -32,7 +39,9 @@ def test_fig6_ber_curves(benchmark, report_sink):
     # grid point (paired noise).
     assert result.monotone
     assert cmp_.ber_b[-1] <= cmp_.ber_a[-1] * 1.10
-    # The staged-pipeline refactor must not cost fig6 wall-clock:
-    # >10% against a comparable committed baseline fails the bench
-    # (with a 0.25 s jitter floor for sub-second fast-scale runs).
+    # The batched sweep engine must not cost fig6 wall-clock or
+    # throughput: >10% against a comparable committed baseline fails
+    # the bench (with a 0.25 s jitter floor for sub-second fast-scale
+    # runs).
     assert_no_wall_regression("fig6", wall)
+    assert_no_throughput_regression("fig6", pps)

@@ -7,7 +7,11 @@ closing in (received power following the TG4a path-loss law) drives
 the link interference-limited.
 """
 
-from benchmarks.conftest import full_scale, write_bench_artifact
+from benchmarks.conftest import (
+    assert_no_throughput_regression,
+    full_scale,
+    write_bench_artifact,
+)
 from repro.experiments import run_mui
 
 
@@ -26,8 +30,15 @@ def test_mui_network_ber(benchmark, report_sink):
                 for d, curve in sorted(result.near_far.items())}
     benchmark.extra_info["counts"] = list(result.counts)
     benchmark.extra_info.update(sweeps)
+    # Throughput metric of the batched sweep engine: BER points
+    # resolved per wall second across every scenario of the campaign.
+    points = (sum(len(c.ber) for c in result.curves.values())
+              + len(result.near_far))
+    pps = points / wall if wall > 0 else 0.0
     write_bench_artifact("mui", {
         "wall_seconds": round(wall, 4),
+        "points": points,
+        "points_per_second": round(pps, 2),
         "ebn0_db": list(result.ebn0_grid),
         "counts": list(result.counts),
         "sir_db": list(result.sir_grid),
@@ -44,3 +55,4 @@ def test_mui_network_ber(benchmark, report_sink):
     closest = float(result.near_far[distances[0]].ber[0])
     farthest = float(result.near_far[distances[-1]].ber[0])
     assert closest > farthest
+    assert_no_throughput_regression("mui", pps)

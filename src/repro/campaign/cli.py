@@ -20,8 +20,10 @@ Experiments self-register via the ``@experiment`` decorator in
 runnable here with no CLI change.  Common flags: ``--fast`` (default)
 / ``--full`` select the Monte-Carlo budget, ``--processes`` fans
 scenarios out over a process pool, ``--seed`` overrides the
-experiment's default seed, and ``--cache-dir`` / ``--no-cache``
-control the result store.  Re-running a completed campaign executes
+experiment's default seed, ``--chunk-bits`` sizes the Monte-Carlo
+chunks, ``--batch-points`` / ``--no-batch-points`` select the
+scenario-batched sweep kernel versus the legacy per-point loop, and
+``--cache-dir`` / ``--no-cache`` control the result store.  Re-running a completed campaign executes
 zero scenarios; an interrupted campaign resumes from its checkpoints.
 """
 
@@ -32,6 +34,20 @@ import sys
 import time
 
 from repro.campaign.store import ResultStore
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that only make sense strictly positive
+    (e.g. ``--chunk-bits``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}")
+    return value
 
 
 def _registry():
@@ -67,6 +83,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fan scenarios out over N processes")
     run_p.add_argument("--seed", type=int, default=None,
                        help="override the experiment's default seed")
+    run_p.add_argument("--chunk-bits", type=_positive_int, default=None,
+                       metavar="N",
+                       help="Monte-Carlo chunk size (bits per "
+                            "vectorized chunk; default: backend "
+                            "native)")
+    run_p.add_argument("--batch-points",
+                       action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="scenario-batched sweep kernel (default) "
+                            "vs. the legacy per-point loop "
+                            "(--no-batch-points)")
     _add_cache_flags(run_p)
     run_p.add_argument("--no-cache", action="store_true",
                        help="bypass the result store entirely")
@@ -124,7 +151,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     for name in args.experiments:
         ctx = ExperimentContext(full=args.full,
                                 processes=args.processes,
-                                seed=args.seed, store=store)
+                                seed=args.seed, store=store,
+                                chunk_bits=args.chunk_bits,
+                                batch_points=args.batch_points)
         start = time.perf_counter()
         text = experiments[name].run(ctx)
         elapsed = time.perf_counter() - start

@@ -56,6 +56,7 @@ from repro.link.pipeline import (
     TxStage,
     build_link_pipeline,
     run_ber_point,
+    run_ber_sweep,
 )
 from repro.link.registry import (
     COSIM,
@@ -129,6 +130,7 @@ __all__ = [
     "register_integrator",
     "resolve_integrator",
     "run_ber_point",
+    "run_ber_sweep",
     "run_equivalence",
     "split_network",
 ]

@@ -46,6 +46,8 @@ from repro.uwb.fastsim import (
     AdaptiveStopping,
     BerResult,
     _ber_curve,
+    _ber_sweep,
+    _curve_result,
     _LinkCache,
     _simulate_ber_point,
     wilson_interval,
@@ -90,17 +92,51 @@ def build_channel_model(spec: LinkSpec) -> Cm1Channel | None:
     return Cm1Channel(spec.config.fs)
 
 
+#: memoized deterministic channel realizations keyed by
+#: ``(ChannelSpec, fs)``.  Every Eb/N0 point of a curve (and every
+#: curve of a campaign over the same spec) reuses one CM1 draw instead
+#: of redoing the identical multipath work; the realization is seeded
+#: by the spec, so sharing cannot change any number.
+_REALIZATION_MEMO: dict = {}
+
+#: memoized pilot calibrations keyed by
+#: ``(UwbConfig, ChannelSpec, FrontEndSpec)`` - everything
+#: :class:`~repro.uwb.fastsim._LinkCache` depends on.
+_CALIBRATION_MEMO: dict = {}
+
+_MEMO_CAP = 128
+
+
+def _memoized(memo: dict, key, build):
+    hit = memo.get(key)
+    if hit is None:
+        hit = build()
+        if len(memo) >= _MEMO_CAP:
+            memo.clear()
+        memo[key] = hit
+    return hit
+
+
 def build_channel_realization(spec: LinkSpec,
                               rng: np.random.Generator | None = None
                               ) -> ChannelRealization | None:
     """One deterministic channel realization for BER sweeps (seeded by
-    ``spec.channel.realization_seed`` unless *rng* is given)."""
+    ``spec.channel.realization_seed`` unless *rng* is given).
+
+    The seeded (``rng=None``) path is memoized per
+    ``(channel spec, fs)``: identical specs share one realization
+    object across points, curves and campaigns.
+    """
     model = build_channel_model(spec)
     if model is None:
         return None
-    if rng is None:
-        rng = np.random.default_rng(spec.channel.realization_seed)
-    return model.realize(spec.channel.distance, rng)
+    if rng is not None:
+        return model.realize(spec.channel.distance, rng)
+    return _memoized(
+        _REALIZATION_MEMO, (spec.channel, spec.config.fs),
+        lambda: model.realize(
+            spec.channel.distance,
+            np.random.default_rng(spec.channel.realization_seed)))
 
 
 def build_receiver(spec: LinkSpec, *,
@@ -141,10 +177,19 @@ def calibrate(spec: LinkSpec, *,
     """Pilot calibration of *spec*: per-bit received energy ``eb`` and
     clean peak amplitude ``peak`` after channel + band-pass (the
     quantities every BER point needs for noise sizing and drive
-    scaling)."""
-    if channel is None:
-        channel = build_channel_realization(spec)
-    return _LinkCache(spec.config, channel, build_bpf(spec))
+    scaling).
+
+    Without an explicit *channel*, the calibration is memoized per
+    ``(config, channel spec, front end)``: every Eb/N0 point - and
+    every curve of a campaign over the same link - shares one pilot
+    measurement instead of re-filtering an identical pilot.
+    """
+    if channel is not None:
+        return _LinkCache(spec.config, channel, build_bpf(spec))
+    return _memoized(
+        _CALIBRATION_MEMO, (spec.config, spec.channel, spec.frontend),
+        lambda: _LinkCache(spec.config, build_channel_realization(spec),
+                           build_bpf(spec)))
 
 
 def build_interferer_realization(intf: InterfererSpec, spec: LinkSpec
@@ -352,21 +397,16 @@ class FastsimBackend(Backend):
                   ) -> tuple[int, int]:
         victim, network = split_network(spec)
         resolved = self._integrator(victim, integrator, cosim=False)
-        extra: dict[str, Any] = {}
+        # One (memoized) calibration drives the noise sizing, any
+        # interferer SIR amplitudes and the point's channel/BPF.
+        cache = calibrate(victim)
+        extra: dict[str, Any] = dict(_cache=cache)
         if network is not None and network.interferers:
-            # One calibration drives the noise sizing, the interferer
-            # SIR amplitudes and the point's channel/BPF (no rebuild).
-            cache = calibrate(victim)
-            extra = dict(
-                interferers=build_interferer_paths(network, cache=cache),
-                _cache=cache)
-            channel, bpf = cache.channel, cache.bpf
-        else:
-            channel = build_channel_realization(victim)
-            bpf = build_bpf(victim)
+            extra["interferers"] = build_interferer_paths(network,
+                                                          cache=cache)
         return _simulate_ber_point(
             victim.config, resolved, float(ebn0_db), rng,
-            channel=channel, bpf=bpf,
+            channel=cache.channel, bpf=cache.bpf,
             squarer_drive=victim.frontend.squarer_drive,
             adc=self._ber_adc(victim),
             target_errors=target_errors, max_bits=max_bits,
@@ -382,29 +422,82 @@ class FastsimBackend(Backend):
                   min_bits: int = 2_000,
                   chunk_bits: int = 1_000,
                   workers: int | None = None,
-                  adaptive: AdaptiveStopping | None = None) -> BerResult:
+                  adaptive: AdaptiveStopping | None = None,
+                  batch_points: bool | None = None) -> BerResult:
         victim, network = split_network(spec)
         resolved = self._integrator(victim, integrator, cosim=False)
-        extra: dict[str, Any] = {}
+        # One (memoized) calibration drives the noise sizing, any
+        # interferer SIR amplitudes and every point of the curve.
+        cache = calibrate(victim)
+        extra: dict[str, Any] = dict(_cache=cache)
         if network is not None and network.interferers:
-            # One calibration drives the noise sizing, the interferer
-            # SIR amplitudes and every point of the curve (no rebuild).
-            cache = calibrate(victim)
-            extra = dict(
-                interferers=build_interferer_paths(network, cache=cache),
-                _cache=cache)
-            channel, bpf = cache.channel, cache.bpf
-        else:
-            channel = build_channel_realization(victim)
-            bpf = build_bpf(victim)
+            extra["interferers"] = build_interferer_paths(network,
+                                                          cache=cache)
         return _ber_curve(
             victim.config, resolved, ebn0_grid, rng,
-            channel=channel, bpf=bpf,
+            channel=cache.channel, bpf=cache.bpf,
             squarer_drive=victim.frontend.squarer_drive,
             adc=self._ber_adc(victim),
             target_errors=target_errors, max_bits=max_bits,
             min_bits=min_bits, chunk_bits=chunk_bits, label=label,
-            workers=workers, adaptive=adaptive, **extra)
+            workers=workers, adaptive=adaptive,
+            batch_points=batch_points, **extra)
+
+    def sweep(self, spec: LinkSpec | NetworkSpec, ebn0_grid,
+              rng: np.random.Generator, *,
+              integrators: tuple = ("ideal", "circuit"),
+              labels: tuple | None = None,
+              target_errors: int = 100,
+              max_bits: int = 200_000,
+              min_bits: int = 2_000,
+              chunk_bits: int = 1_000,
+              adaptive: AdaptiveStopping | None = None
+              ) -> dict[str, BerResult]:
+        """Batched multi-curve BER sweep: one shared front end, one
+        decision stage per integrator, every (integrator, Eb/N0) cell
+        graded from the same bit/noise draws.
+
+        Each returned curve is bit-identical to
+        :meth:`ber_curve` called with the same *rng* seeding
+        convention (a fresh generator per point) - the batch only
+        reorganizes the arithmetic, never the entropy stream.
+
+        Args:
+            integrators: registry names or model instances; their
+                decision stages share the Tx/channel/AFE work.
+            labels: one result key per integrator (defaults to the
+                registry name / model name).
+        """
+        victim, network = split_network(spec)
+        resolved = [self._integrator(victim, integ, cosim=False)
+                    for integ in integrators]
+        if labels is None:
+            labels = tuple(
+                integ if isinstance(integ, str) else r.name
+                for integ, r in zip(integrators, resolved))
+        if len(labels) != len(resolved):
+            raise ValueError(
+                f"{len(resolved)} integrators need {len(resolved)} "
+                f"labels, got {len(labels)}")
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate sweep labels: {labels!r}")
+        cache = calibrate(victim)
+        extra: dict[str, Any] = {}
+        if network is not None and network.interferers:
+            extra["interferers"] = build_interferer_paths(network,
+                                                          cache=cache)
+        ebn0_grid = np.asarray(ebn0_grid, dtype=float)
+        errors, bits = _ber_sweep(
+            victim.config, tuple(resolved), ebn0_grid, rng,
+            squarer_drive=victim.frontend.squarer_drive,
+            adc=self._ber_adc(victim),
+            target_errors=target_errors, max_bits=max_bits,
+            min_bits=min_bits, chunk_bits=chunk_bits,
+            adaptive=adaptive, _cache=cache, **extra)
+        return {
+            label: _curve_result(ebn0_grid, errors[k], bits[k],
+                                 label, adaptive)
+            for k, label in enumerate(labels)}
 
     def packet(self, spec: LinkSpec, waveform: np.ndarray, *,
                integrator: str | WindowIntegrator | None = None
@@ -555,10 +648,17 @@ class KernelBackend(Backend):
                   min_bits: int = 200,
                   chunk_bits: int = 100,
                   workers: int | None = None,
-                  adaptive: AdaptiveStopping | None = None) -> BerResult:
+                  adaptive: AdaptiveStopping | None = None,
+                  batch_points: bool | None = None) -> BerResult:
         """Serial BER sweep (``workers`` is accepted for signature
         uniformity and ignored: each point is a kernel simulation and
-        fan-out belongs at the campaign layer)."""
+        fan-out belongs at the campaign layer).  ``batch_points`` may
+        only be falsy - the event-driven testbench has no batched
+        path."""
+        if batch_points:
+            raise ValueError(
+                "KernelBackend has no batched sweep path; pass "
+                "batch_points=False (or use backend='fastsim')")
         ebn0_grid = np.asarray(ebn0_grid, dtype=float)
         errors = np.zeros(len(ebn0_grid), dtype=np.int64)
         bits = np.zeros(len(ebn0_grid), dtype=np.int64)

@@ -68,13 +68,21 @@ def ber_curve(spec: LinkSpec, ebn0_grid,
               min_bits: int | None = None,
               chunk_bits: int | None = None,
               workers: int | None = None,
-              adaptive: AdaptiveStopping | None = None) -> BerResult:
-    """BER versus Eb/N0 through the selected backend."""
+              adaptive: AdaptiveStopping | None = None,
+              batch_points: bool | None = None) -> BerResult:
+    """BER versus Eb/N0 through the selected backend.
+
+    ``batch_points`` selects fastsim's scenario-batched sweep kernel
+    (``True``), the legacy per-point loop (``False``), or the
+    backend's own default (``None``); it is forwarded only when set so
+    backends without a batched path keep working untouched.
+    """
     return _backend(backend, engine).ber_curve(
         spec, ebn0_grid, rng, label=label, integrator=integrator,
         workers=workers, adaptive=adaptive,
         **_budget(target_errors=target_errors, max_bits=max_bits,
-                  min_bits=min_bits, chunk_bits=chunk_bits))
+                  min_bits=min_bits, chunk_bits=chunk_bits,
+                  batch_points=batch_points))
 
 
 def mui_ber_curve(network: NetworkSpec, ebn0_grid,
@@ -88,7 +96,8 @@ def mui_ber_curve(network: NetworkSpec, ebn0_grid,
                   min_bits: int | None = None,
                   chunk_bits: int | None = None,
                   workers: int | None = None,
-                  adaptive: AdaptiveStopping | None = None) -> BerResult:
+                  adaptive: AdaptiveStopping | None = None,
+                  batch_points: bool | None = None) -> BerResult:
     """Multi-user BER versus Eb/N0 over a :class:`NetworkSpec`.
 
     The campaign-facing twin of :func:`ber_curve` for multi-user
@@ -105,6 +114,40 @@ def mui_ber_curve(network: NetworkSpec, ebn0_grid,
     return _backend(backend, engine).ber_curve(
         network, ebn0_grid, rng, label=label, integrator=integrator,
         workers=workers, adaptive=adaptive,
+        **_budget(target_errors=target_errors, max_bits=max_bits,
+                  min_bits=min_bits, chunk_bits=chunk_bits,
+                  batch_points=batch_points))
+
+
+def ber_sweep(spec: LinkSpec | NetworkSpec, ebn0_grid,
+              rng: np.random.Generator, *,
+              backend: str = "fastsim",
+              engine: str | None = None,
+              integrators: tuple = ("ideal", "circuit"),
+              labels: tuple | None = None,
+              target_errors: int | None = None,
+              max_bits: int | None = None,
+              min_bits: int | None = None,
+              chunk_bits: int | None = None,
+              adaptive: AdaptiveStopping | None = None
+              ) -> dict[str, BerResult]:
+    """Batched multi-curve BER sweep: every (integrator, Eb/N0) cell
+    of the campaign graded from one shared front-end pass.
+
+    The whole-campaign unit of work for experiments like fig6 whose
+    curves share a seed: one :class:`Scenario` instead of one per
+    curve, with each returned curve bit-identical to a standalone
+    :func:`ber_curve` run.  Only backends exposing a batched
+    ``sweep`` support it (fastsim today).
+    """
+    b = _backend(backend, engine)
+    if not hasattr(b, "sweep"):
+        raise TypeError(
+            f"backend {backend!r} has no batched sweep path; use "
+            "ber_curve per integrator instead")
+    return b.sweep(
+        spec, ebn0_grid, rng, integrators=integrators, labels=labels,
+        adaptive=adaptive,
         **_budget(target_errors=target_errors, max_bits=max_bits,
                   min_bits=min_bits, chunk_bits=chunk_bits))
 

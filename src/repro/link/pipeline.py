@@ -27,6 +27,21 @@ against a verbatim copy of the legacy loop).  With interferers, each
 interferer's bits are drawn from the same generator *between* the
 victim bits and the noise, in interferer order.
 
+**Scenario batch axis.** Beyond the per-chunk symbol batching, the
+pipeline carries an optional *scenario* axis: one :class:`LinkState`
+can hold a whole family of operating points that share every draw
+(victim bits, interferer bits, the unit noise process) and differ only
+in their noise scale.  :meth:`SignalPipeline.run_chunk` takes a
+``sigmas`` vector to activate it - the :class:`CombineStage` then
+fans the shared chunk out into an ``(n_scenarios, n_samples)`` batch
+(``waveform + sigmas[:, None] * unit_noise``), and the downstream
+stages operate on the leading axis transparently.  Because
+``rng.normal(0, sigma, n)`` draws ``sigma * standard_normal(n)``
+bitwise, scenario *i* of the batch is bit-identical to a per-point
+run at ``sigmas[i]`` from the same generator state - the invariant
+:func:`run_ber_sweep` builds the whole-curve sweep on (pinned by
+``tests/network/test_batched_sweep.py``).
+
 Stages are deliberately dependency-light (uwb building blocks only);
 :mod:`repro.link.backends` resolves :class:`~repro.link.spec.NetworkSpec`
 interference descriptions into :class:`InterfererPath` values (SIR
@@ -62,23 +77,33 @@ class LinkState:
     Attributes:
         n: symbols in this chunk.
         rng: the chunk's entropy source (bit draws and noise).
-        bits: victim payload bits (set by :class:`TxStage`).
+        sigmas: optional per-scenario noise standard deviations.  When
+            set, the :class:`CombineStage` fans the shared chunk out
+            into an ``(n_scenarios, ...)`` batch - one row per noise
+            scale over identical bit/interferer/noise draws - and
+            every downstream field grows that leading axis.
+        bits: victim payload bits (set by :class:`TxStage`; shared
+            across scenario rows).
         waveform: clean waveform at the antenna reference plane -
             victim only after :class:`ChannelStage`, victim plus scaled
             interferers after :class:`CombineStage`.
         interferer_bits: payload bits drawn per interferer (diagnostic;
             the decision only grades the victim's bits).
-        noisy: waveform after AWGN (set by :class:`CombineStage`).
-        squared: squarer output reshaped to ``(n, 2, samples_per_slot)``
-            (set by :class:`AnalogFrontEndStage`).
-        slot_values: integrator outputs per slot, shape ``(n, 2)``,
+        noisy: waveform after AWGN (set by :class:`CombineStage`);
+            ``(n_scenarios, n_samples)`` in batched mode.
+        squared: squarer output reshaped to
+            ``(..., n, 2, samples_per_slot)`` (set by
+            :class:`AnalogFrontEndStage`).
+        slot_values: integrator outputs per slot, shape ``(..., n, 2)``,
             post-ADC when the pipeline quantizes (set by
             :class:`DecisionStage`).
-        decisions: larger-slot decisions, one int8 bit per symbol.
+        decisions: larger-slot decisions, one int8 bit per symbol
+            (per scenario row in batched mode).
     """
 
     n: int
     rng: np.random.Generator
+    sigmas: np.ndarray | None = None
     bits: np.ndarray | None = None
     waveform: np.ndarray | None = None
     interferer_bits: list[np.ndarray] = field(default_factory=list)
@@ -92,6 +117,12 @@ class LinkState:
         if self.decisions is None or self.bits is None:
             raise ValueError("chunk has not been decided yet")
         return int(np.count_nonzero(self.decisions != self.bits))
+
+    def error_counts(self) -> np.ndarray:
+        """Victim bit errors per scenario row (batched mode)."""
+        if self.decisions is None or self.bits is None:
+            raise ValueError("chunk has not been decided yet")
+        return np.count_nonzero(self.decisions != self.bits, axis=-1)
 
 
 class Stage:
@@ -205,8 +236,24 @@ class CombineStage(Stage):
         for path in self.interferers:
             state.waveform = state.waveform + path.synthesize(
                 state, self.config)
-        state.noisy = state.waveform + state.rng.normal(
-            0.0, self.sigma, size=len(state.waveform))
+        if state.sigmas is not None:
+            # Scenario batch: one shared unit-variance noise process,
+            # scaled per row.  ``rng.normal(0, sigma, n)`` draws
+            # ``sigma * standard_normal(n)`` bitwise, so row i equals
+            # a per-point run at sigmas[i] from this generator state.
+            # The scale and add land in one preallocated batch buffer
+            # (IEEE addition commutes bitwise, so += keeps the
+            # waveform + sigma*unit identity) - one less full-size
+            # temporary per chunk on the hottest allocation.
+            unit = state.rng.standard_normal(len(state.waveform))
+            noisy = np.multiply(
+                state.sigmas[:, None], unit[None, :],
+                out=np.empty((len(state.sigmas), unit.size)))
+            noisy += state.waveform
+            state.noisy = noisy
+        else:
+            state.noisy = state.waveform + state.rng.normal(
+                0.0, self.sigma, size=len(state.waveform))
 
 
 @dataclass
@@ -220,10 +267,20 @@ class AnalogFrontEndStage(Stage):
 
     def process(self, state: LinkState) -> None:
         cfg = self.config
-        filtered = self.bpf(state.noisy)[:state.n * cfg.samples_per_symbol]
-        driven = self.scale * filtered
-        state.squared = np.square(driven).reshape(
-            state.n, 2, cfg.samples_per_slot)
+        # Filtering, scaling and squaring act along the last (sample)
+        # axis, so the optional scenario batch axis passes through
+        # untouched: each row is processed exactly as a lone chunk.
+        # The filter output is ours alone (sosfilt copies its input),
+        # so drive scaling and squaring run in place - two fewer
+        # full-size temporaries per chunk, identical arithmetic.
+        filtered = self.bpf(state.noisy)[
+            ..., :state.n * cfg.samples_per_symbol]
+        if not filtered.flags.writeable:  # pragma: no cover - guard
+            filtered = filtered.copy()
+        np.multiply(filtered, self.scale, out=filtered)
+        np.square(filtered, out=filtered)
+        state.squared = filtered.reshape(
+            filtered.shape[:-1] + (state.n, 2, cfg.samples_per_slot))
 
 
 @dataclass
@@ -234,13 +291,20 @@ class DecisionStage(Stage):
     integrator: WindowIntegrator
     adc: Adc | None = None
 
-    def process(self, state: LinkState) -> None:
-        values = self.integrator.window_outputs(state.squared,
-                                                self.config.dt)
+    def decide(self, squared: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """``(slot_values, decisions)`` for a squared-slot array of
+        shape ``(..., n, 2, samples_per_slot)`` (any leading batch
+        axes; the batched sweep driver calls this on scenario-row
+        subsets)."""
+        values = self.integrator.window_outputs(squared, self.config.dt)
         if self.adc is not None:
             values = self.adc.quantize(values)
-        state.slot_values = values
-        state.decisions = (values[:, 1] > values[:, 0]).astype(np.int8)
+        decisions = (values[..., 1] > values[..., 0]).astype(np.int8)
+        return values, decisions
+
+    def process(self, state: LinkState) -> None:
+        state.slot_values, state.decisions = self.decide(state.squared)
 
 
 @dataclass
@@ -254,11 +318,26 @@ class SignalPipeline:
         if not self.stages:
             raise ValueError("pipeline needs at least one stage")
 
-    def run_chunk(self, n: int, rng: np.random.Generator) -> LinkState:
-        """Push one fresh chunk of *n* symbols through every stage."""
+    def run_chunk(self, n: int, rng: np.random.Generator,
+                  sigmas: np.ndarray | None = None) -> LinkState:
+        """Push one fresh chunk of *n* symbols through every stage.
+
+        Args:
+            sigmas: optional per-scenario noise standard deviations;
+                when given, the chunk fans out into a scenario batch
+                at the :class:`CombineStage` (one row per sigma over
+                shared draws) and the downstream state fields carry
+                the leading scenario axis.
+        """
         if n <= 0:
             raise ValueError("chunk size must be positive")
-        state = LinkState(n=n, rng=rng)
+        if sigmas is not None:
+            sigmas = np.asarray(sigmas, dtype=float)
+            if sigmas.ndim != 1:
+                raise ValueError("sigmas must be a 1-D vector")
+            if np.any(sigmas < 0):
+                raise ValueError("sigmas must be >= 0")
+        state = LinkState(n=n, rng=rng, sigmas=sigmas)
         for stage in self.stages:
             stage.process(state)
         return state
@@ -331,3 +410,164 @@ def run_ber_point(pipeline: SignalPipeline, rng: np.random.Generator, *,
         errors += state.error_count()
         bits_done += n
     return errors, bits_done
+
+
+_PRIMED_BYTES = 0
+
+
+def _prime_allocator(block_bytes: int, live_blocks: int = 4) -> None:
+    """Pre-adapt the process allocator to the sweep's chunk temporaries.
+
+    The batched chunk temporaries (``(rows, samples)`` float64 blocks
+    from the noise fan-out, band-pass, squarer and integrator) sit far
+    above glibc's initial 128 KiB mmap threshold, so an unprimed
+    process mmaps each of them fresh and munmaps it again on every
+    wave - every release hands the pages back to the OS and the next
+    wave page-faults them all back in, which dominates a cold run.
+    glibc's threshold is *dynamic*: freeing an mmapped block raises the
+    threshold to that block's size, after which same-sized requests are
+    served from the heap free list and their pages stay resident.
+    Allocating and releasing a few wave-sized scratch blocks triggers
+    that adaptation once, up front; touching a working set's worth of
+    heap blocks afterwards pre-faults the pages the waves then recycle.
+    """
+    # glibc caps the dynamic threshold at 32 MiB; bigger blocks stay
+    # mmapped no matter what, so clamp the scratch size to what the
+    # adaptation can actually absorb.  Priming is per-process state:
+    # once the allocator has adapted to a given block size, re-priming
+    # at or below it would only burn a working set's worth of memset.
+    global _PRIMED_BYTES
+    block_bytes = max(1, min(block_bytes, 1 << 25))
+    if block_bytes <= _PRIMED_BYTES:
+        return
+    _PRIMED_BYTES = block_bytes
+    for _ in range(3):
+        scratch = np.empty(block_bytes, dtype=np.uint8)
+        del scratch
+    count = max(1, min(live_blocks, (1 << 27) // block_bytes))
+    blocks = [np.empty(block_bytes, dtype=np.uint8)
+              for _ in range(count)]
+    for scratch in blocks:
+        scratch.fill(0)
+    del blocks
+
+
+def _cell_continues(errors: int, bits: int, bits_done: int, *,
+                    target_errors: int, max_bits: int, min_bits: int,
+                    adaptive: "AdaptiveStopping | None") -> bool:
+    """:func:`run_ber_point`'s stopping rule for one sweep cell,
+    verbatim: the hard-cap ``while`` condition first, then the
+    adaptive early exit.  A retired cell's counters freeze behind the
+    sweep's shared ``bits_done``, which keeps it retired (the rule is
+    monotone in frozen counters; the explicit check makes the
+    invariant unconditional)."""
+    if bits != bits_done:
+        return False
+    if not (bits < max_bits and (errors < target_errors
+                                 or bits < min_bits)):
+        return False
+    if (adaptive is not None and bits >= min_bits
+            and adaptive.resolved(errors, bits)):
+        return False
+    return True
+
+
+def run_ber_sweep(front: SignalPipeline,
+                  deciders: Sequence[DecisionStage],
+                  sigmas, rng: np.random.Generator, *,
+                  target_errors: int = 100,
+                  max_bits: int = 200_000,
+                  min_bits: int = 2_000,
+                  chunk_bits: int = 1_000,
+                  adaptive: "AdaptiveStopping | None" = None
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Monte-Carlo sweep over a whole scenario batch in one chunk loop.
+
+    Runs the shared front of the pipeline (*front*: Tx -> Channel ->
+    Combine -> AnalogFrontEnd, **without** a decision stage) once per
+    chunk with the scenario batch axis active, then grades the batch
+    through every :class:`DecisionStage` in *deciders* - so a whole
+    BER campaign (every Eb/N0 point x every integrator variant)
+    becomes a handful of large array ops per chunk instead of an
+    outer Python loop over points.
+
+    **Seeding / sharing convention.**  All scenarios consume *one*
+    generator: per chunk the driver draws the victim bits, each
+    interferer's bits (in path order) and one unit-variance noise
+    vector - exactly the draw sequence of a single per-point run.
+    Scenario (decider k, sigma j) is therefore bit-identical to
+    ``run_ber_point`` over the equivalent per-point pipeline started
+    from the *same generator seed*: it sees the same bits, the same
+    interferers and the same noise process scaled by its own sigma.
+
+    **Retirement.**  Each cell follows :func:`run_ber_point`'s
+    stopping rule (hard ``target_errors`` / ``max_bits`` caps,
+    optional :class:`~repro.uwb.fastsim.AdaptiveStopping` early exit)
+    independently: a resolved cell simply stops accumulating while the
+    shared draws continue for the survivors, so retiring a cell
+    cannot perturb any other cell's stream.  Scenario rows with no
+    active cell left are dropped from the batch arithmetic entirely.
+
+    Args:
+        front: the shared pipeline front (no :class:`DecisionStage`).
+        deciders: one decision stage per integrator variant; all
+            variants share the front-end computation of each chunk.
+        sigmas: per-scenario noise standard deviations (one per Eb/N0
+            point of the sweep).
+        rng: the sweep's single shared generator.
+
+    Returns:
+        ``(errors, bits)`` int64 arrays of shape
+        ``(len(deciders), len(sigmas))``.
+    """
+    if chunk_bits < 1:
+        raise ValueError("chunk_bits must be >= 1")
+    if max_bits < 1:
+        raise ValueError("max_bits must be >= 1")
+    if min_bits < 0:
+        raise ValueError("min_bits must be >= 0")
+    if target_errors < 1:
+        raise ValueError("target_errors must be >= 1")
+    sigmas = np.asarray(sigmas, dtype=float)
+    deciders = tuple(deciders)
+    n_dec, n_pts = len(deciders), len(sigmas)
+    errors = np.zeros((n_dec, n_pts), dtype=np.int64)
+    bits = np.zeros((n_dec, n_pts), dtype=np.int64)
+    if n_dec == 0 or n_pts == 0:
+        return errors, bits
+    rule = dict(target_errors=target_errors, max_bits=max_bits,
+                min_bits=min_bits, adaptive=adaptive)
+    cfg = getattr(front.stages[0], "config", None)
+    if cfg is not None:
+        samples = min(chunk_bits, max_bits) * cfg.samples_per_symbol
+        _prime_allocator(n_pts * samples * 8)
+    bits_done = 0
+    while True:
+        active = np.zeros((n_dec, n_pts), dtype=bool)
+        for k in range(n_dec):
+            for j in range(n_pts):
+                active[k, j] = _cell_continues(
+                    int(errors[k, j]), int(bits[k, j]), bits_done,
+                    **rule)
+        if not active.any():
+            break
+        n = min(chunk_bits, max_bits - bits_done)
+        # Only scenario rows some decider still needs enter the batch;
+        # the generator draws are row-count independent (shared bits +
+        # one unit noise vector), so retirement never moves the stream.
+        rows = np.flatnonzero(active.any(axis=0))
+        state = front.run_chunk(n, rng, sigmas=sigmas[rows])
+        for k, decider in enumerate(deciders):
+            cols = np.flatnonzero(active[k])
+            if not len(cols):
+                continue
+            # Fancy indexing copies; the common all-rows-active wave
+            # grades the shared batch directly (decide() is read-only).
+            sub = (state.squared if len(cols) == len(rows)
+                   else state.squared[np.searchsorted(rows, cols)])
+            _, decisions = decider.decide(sub)
+            errors[k, cols] += np.count_nonzero(
+                decisions != state.bits[None, :], axis=-1)
+            bits[k, cols] += n
+        bits_done += n
+    return errors, bits

@@ -29,6 +29,7 @@ reproduces the paper's ideal-versus-ELDO BER comparison.
 
 from __future__ import annotations
 
+import importlib
 import math
 import warnings
 from dataclasses import dataclass, field
@@ -54,6 +55,21 @@ _Z_SCORES: dict[float, float] = {}
 #: ``float(scipy.special.ndtri(0.975))`` verbatim, so both code paths
 #: produce bit-identical intervals.
 _Z_FALLBACK = {0.95: 1.959963984540054}
+
+#: lazily-bound repro.link.pipeline module.  It cannot be imported at
+#: module top (repro.link.backends imports this module, so a top-level
+#: import of repro.link would cycle), and re-importing per BER point
+#: re-enters the import machinery for nothing - so the module object
+#: is resolved once and memoized here.
+_PIPELINE = None
+
+
+def _link_pipeline():
+    """The :mod:`repro.link.pipeline` module, imported once."""
+    global _PIPELINE
+    if _PIPELINE is None:
+        _PIPELINE = importlib.import_module("repro.link.pipeline")
+    return _PIPELINE
 
 
 def _wilson_z(confidence: float) -> float:
@@ -274,21 +290,85 @@ def _simulate_ber_point(config: UwbConfig, integrator: WindowIntegrator,
     Returns:
         ``(errors, bits)`` counters.
     """
-    # Imported here, not at module top: repro.link.backends imports
-    # this module, so a top-level import of repro.link would cycle.
-    from repro.link.pipeline import build_link_pipeline, run_ber_point
-
+    pipe = _link_pipeline()
     config.validate()
     cache = _cache or _LinkCache(config, channel, bpf)
     sigma = noise_sigma_for_ebn0(cache.eb, ebn0_db, config.fs)
     scale = squarer_drive / cache.peak
-    pipeline = build_link_pipeline(
+    pipeline = pipe.build_link_pipeline(
         config, integrator=integrator, bpf=cache.bpf, sigma=sigma,
         scale=scale, channel=cache.channel, adc=adc,
         interferers=tuple(interferers))
-    return run_ber_point(pipeline, rng, target_errors=target_errors,
-                         max_bits=max_bits, min_bits=min_bits,
-                         chunk_bits=chunk_bits, adaptive=adaptive)
+    return pipe.run_ber_point(pipeline, rng, target_errors=target_errors,
+                              max_bits=max_bits, min_bits=min_bits,
+                              chunk_bits=chunk_bits, adaptive=adaptive)
+
+
+def _ber_sweep(config: UwbConfig, integrators, ebn0_grid,
+               rng: np.random.Generator, *,
+               channel: ChannelRealization | None = None,
+               bpf: BandPassFilter | None = None,
+               squarer_drive: float = 0.05,
+               adc: Adc | None = None,
+               target_errors: int = 100,
+               max_bits: int = 200_000,
+               min_bits: int = 2_000,
+               chunk_bits: int = 1_000,
+               adaptive: AdaptiveStopping | None = None,
+               interferers: tuple = (),
+               _cache: _LinkCache | None = None
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """Scenario-batched Monte-Carlo sweep: every Eb/N0 point of the
+    grid x every integrator variant in one chunk loop.
+
+    All scenarios share one generator and one front-end computation
+    per chunk (the points of a curve differ only in their noise scale;
+    integrator variants differ only past the squarer), so the whole
+    sweep runs as a handful of large array ops.  Cell ``(k, j)`` is
+    bit-identical to ``_simulate_ber_point(config, integrators[k],
+    ebn0_grid[j], rng')`` with ``rng'`` freshly seeded like *rng* -
+    the per-run seeding convention under which draws are shared (see
+    :func:`repro.link.pipeline.run_ber_sweep`).
+
+    Returns:
+        ``(errors, bits)`` int64 arrays of shape
+        ``(len(integrators), len(ebn0_grid))``.
+    """
+    pipe = _link_pipeline()
+    config.validate()
+    cache = _cache or _LinkCache(config, channel, bpf)
+    ebn0_grid = np.asarray(ebn0_grid, dtype=float)
+    sigmas = np.array([noise_sigma_for_ebn0(cache.eb, float(p), config.fs)
+                       for p in ebn0_grid])
+    scale = squarer_drive / cache.peak
+    front = pipe.SignalPipeline(stages=(
+        pipe.TxStage(config),
+        pipe.ChannelStage(config, cache.channel),
+        pipe.CombineStage(config, 0.0, tuple(interferers)),
+        pipe.AnalogFrontEndStage(config, cache.bpf, scale),
+    ))
+    deciders = [pipe.DecisionStage(config, integrator, adc)
+                for integrator in integrators]
+    return pipe.run_ber_sweep(front, deciders, sigmas, rng,
+                              target_errors=target_errors,
+                              max_bits=max_bits, min_bits=min_bits,
+                              chunk_bits=chunk_bits, adaptive=adaptive)
+
+
+def _curve_result(ebn0_grid: np.ndarray, errors: np.ndarray,
+                  bits: np.ndarray, label: str,
+                  adaptive: AdaptiveStopping | None) -> BerResult:
+    """Assemble per-point counters into a Wilson-bounded curve."""
+    ber = errors / np.maximum(bits, 1)
+    confidence = adaptive.confidence if adaptive is not None else 0.95
+    bounds = np.array([wilson_interval(int(e), int(b), confidence)
+                       if b else (0.0, 1.0)
+                       for e, b in zip(errors, bits)])
+    ci_low = bounds[:, 0] if len(bounds) else np.zeros(0)
+    ci_high = bounds[:, 1] if len(bounds) else np.zeros(0)
+    return BerResult(ebn0_db=ebn0_grid, ber=ber, errors=errors,
+                     bits=bits, label=label, ci_low=ci_low,
+                     ci_high=ci_high, confidence=confidence)
 
 
 def _ber_curve(config: UwbConfig, integrator: WindowIntegrator,
@@ -305,28 +385,39 @@ def _ber_curve(config: UwbConfig, integrator: WindowIntegrator,
                workers: int | None = None,
                adaptive: AdaptiveStopping | None = None,
                interferers: tuple = (),
+               batch_points: bool | None = None,
                _cache: _LinkCache | None = None) -> BerResult:
     """BER versus Eb/N0 for one integrator model (figure-6 workload).
 
     Args:
         workers: fan the Eb/N0 points out over this many processes.
-            Serial execution (``None``/``0``/``1``) draws all points
-            from the single *rng* stream, bit-reproducing the historic
-            behavior; parallel execution gives each point its own
-            stream spawned deterministically from *rng*, so results are
-            reproducible for a given seed and worker-independent (but
-            not identical to the serial noise realization).
+            Parallel execution gives each point its own stream spawned
+            deterministically from *rng*, so results are reproducible
+            for a given seed and worker-independent.
         adaptive: optional per-point sequential stopping policy (see
             :class:`AdaptiveStopping`); the returned Wilson bounds use
             its confidence level.
         interferers: resolved interfering transmitters forwarded to
             every point (multi-user scenarios).
+        batch_points: ``True`` runs every point of the grid through
+            the scenario-batched sweep kernel (one shared generator,
+            one front-end computation per chunk; each point is
+            bit-identical to a per-point run freshly seeded like
+            *rng*).  ``False`` restores the legacy serial loop, which
+            walks the points sequentially on the single *rng* stream
+            (the pre-batching convention).  Default (``None``):
+            batched, unless ``workers > 1`` selected the spawned
+            process pool.
     """
     cache = _cache or _LinkCache(config, channel, bpf)
     ebn0_grid = np.asarray(ebn0_grid, dtype=float)
     errors = np.zeros(len(ebn0_grid), dtype=np.int64)
     bits = np.zeros(len(ebn0_grid), dtype=np.int64)
-    if workers is not None and workers > 1 and len(ebn0_grid) > 0:
+    use_pool = (workers is not None and workers > 1
+                and len(ebn0_grid) > 0 and batch_points is not True)
+    if batch_points is None:
+        batch_points = not use_pool
+    if use_pool:
         from repro.core.scenario import Scenario, SweepRunner
 
         runner = SweepRunner(processes=workers)
@@ -343,6 +434,14 @@ def _ber_curve(config: UwbConfig, integrator: WindowIntegrator,
                             interferers=interferers, _cache=cache)))
         for i, result in enumerate(runner.run()):
             errors[i], bits[i] = result.value
+    elif batch_points:
+        swept_errors, swept_bits = _ber_sweep(
+            config, (integrator,), ebn0_grid, rng,
+            squarer_drive=squarer_drive, adc=adc,
+            target_errors=target_errors, max_bits=max_bits,
+            min_bits=min_bits, chunk_bits=chunk_bits,
+            adaptive=adaptive, interferers=interferers, _cache=cache)
+        errors[:], bits[:] = swept_errors[0], swept_bits[0]
     else:
         for i, point in enumerate(ebn0_grid):
             e, b = _simulate_ber_point(
@@ -354,17 +453,8 @@ def _ber_curve(config: UwbConfig, integrator: WindowIntegrator,
                 interferers=interferers, _cache=cache)
             errors[i] = e
             bits[i] = b
-    ber = errors / np.maximum(bits, 1)
-    confidence = adaptive.confidence if adaptive is not None else 0.95
-    bounds = np.array([wilson_interval(int(e), int(b), confidence)
-                       if b else (0.0, 1.0)
-                       for e, b in zip(errors, bits)])
-    ci_low = bounds[:, 0] if len(bounds) else np.zeros(0)
-    ci_high = bounds[:, 1] if len(bounds) else np.zeros(0)
-    return BerResult(ebn0_db=ebn0_grid, ber=ber, errors=errors, bits=bits,
-                     label=label or integrator.name,
-                     ci_low=ci_low, ci_high=ci_high,
-                     confidence=confidence)
+    return _curve_result(ebn0_grid, errors, bits,
+                         label or integrator.name, adaptive)
 
 
 def simulate_ber_point(*args, **kwargs) -> tuple[int, int]:
@@ -398,13 +488,22 @@ def ber_curve(*args, **kwargs) -> BerResult:
     return _ber_curve(*args, **kwargs)
 
 
+#: memoized scipy.special.erfc (resolved on first use so the module
+#: stays importable without eagerly touching scipy.special, but never
+#: re-entered per call).
+_ERFC = None
+
+
 def theoretical_ppm_awgn_ber(ebn0_db) -> np.ndarray:
     """Coherent orthogonal 2-PPM reference curve ``Q(sqrt(Eb/N0))``.
 
     Energy detection is noncoherent and sits to the right of this curve;
     it is plotted as a sanity reference, not as the expected result.
     """
-    from scipy.special import erfc
+    global _ERFC
+    if _ERFC is None:
+        from scipy.special import erfc
+        _ERFC = erfc
 
     ebn0 = 10.0 ** (np.asarray(ebn0_db, dtype=float) / 10.0)
-    return 0.5 * erfc(np.sqrt(ebn0 / 2.0))
+    return 0.5 * _ERFC(np.sqrt(ebn0 / 2.0))

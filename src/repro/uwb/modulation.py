@@ -10,11 +10,22 @@ the preamble, followed by the modulated data, i.e. the payload".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
 from repro.uwb.config import UwbConfig
 from repro.uwb.pulse import sampled_pulse
+
+
+@lru_cache(maxsize=64)
+def _pulse_template(fs: float, tau: float, order: int) -> np.ndarray:
+    """Memoized read-only pulse samples (the waveform synthesizer runs
+    once per Monte-Carlo chunk; re-evaluating the Hermite polynomial
+    every chunk is pure waste)."""
+    pulse = sampled_pulse(fs, tau, order)
+    pulse.setflags(write=False)
+    return pulse
 
 
 def random_bits(n: int, rng: np.random.Generator) -> np.ndarray:
@@ -82,14 +93,25 @@ def ppm_waveform(symbols: np.ndarray, config: UwbConfig,
         extra_samples`` samples.
     """
     config.validate()
-    pulse = sampled_pulse(config.fs, config.pulse_tau, config.pulse_order)
+    pulse = _pulse_template(config.fs, config.pulse_tau,
+                            config.pulse_order)
     half = len(pulse) // 2
     total = len(symbols) * config.samples_per_symbol + extra_samples
     # Pad by half a pulse on each side so early/late pulses stay intact,
     # then strip the head pad so sample 0 corresponds to t = 0.
     wave = np.zeros(total + len(pulse))
-    for center in ppm_positions(symbols, config):
-        wave[int(center):int(center) + len(pulse)] += amplitude * pulse
+    centers = ppm_positions(symbols, config)
+    if len(centers):
+        idx = centers[:, None] + np.arange(len(pulse))
+        contrib = np.broadcast_to(amplitude * pulse, idx.shape).ravel()
+        if len(centers) == 1 or int(np.min(np.diff(centers))) >= len(pulse):
+            # Disjoint pulse supports (the 2-PPM slot spacing exceeds
+            # the pulse length): a flat scatter assignment.
+            wave[idx.ravel()] = contrib
+        else:
+            # Overlapping supports accumulate in center order, exactly
+            # like the historic per-pulse loop.
+            np.add.at(wave, idx.ravel(), contrib)
     return wave[half:half + total]
 
 

@@ -161,6 +161,6 @@ class TestBitIdentity:
                 _cache=cache, **point_budget))
         curve = FastsimBackend().ber_curve(
             LinkSpec(config=config), grid, np.random.default_rng(13),
-            **point_budget)
+            batch_points=False, **point_budget)
         got = list(zip(curve.errors.tolist(), curve.bits.tolist()))
         assert got == expected
