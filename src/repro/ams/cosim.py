@@ -22,6 +22,7 @@ from typing import Callable, Mapping
 from repro.ams.block import AnalogBlock
 from repro.ams.quantity import Quantity
 from repro.spice.analysis.tran import TransientStepper
+from repro.spice.lint import preflight_check
 from repro.spice.netlist import Circuit
 
 
@@ -42,6 +43,13 @@ class SpiceBlock(AnalogBlock):
         method: integration method of the embedded transient.
         initial_overrides: source values for the initial DC solve.
         initial_guess: node-voltage hints for the initial DC solve.
+        preflight: run the error-level static lint rules
+            (:func:`repro.spice.lint.preflight_check`) on the netlist
+            before any MNA assembly, so a malformed circuit fails with
+            a named rule and nodes instead of an opaque solver error
+            deep inside the transient.  Pass ``False`` to opt out
+            (e.g. to study a deliberately degenerate netlist that the
+            ``gmin`` leakage can still solve).
 
     A Spice block deliberately does **not** implement the vectorized
     ``step_block`` protocol: its inputs are closures over live kernel
@@ -59,9 +67,14 @@ class SpiceBlock(AnalogBlock):
                  substeps: int = 1,
                  method: str = "trap",
                  initial_overrides: Mapping[str, float] | None = None,
-                 initial_guess: Mapping[str, float] | None = None):
+                 initial_guess: Mapping[str, float] | None = None,
+                 preflight: bool = True):
         if substeps < 1:
             raise ValueError("substeps must be >= 1")
+        if preflight:
+            # Fail fast, before the TransientStepper compiles the MNA
+            # system: NetlistLintError names the rule and the nodes.
+            preflight_check(circuit)
         super().__init__(name, inputs=(), outputs=tuple(outputs))
         self._input_fns = dict(inputs)
         self._output_fns = [(q, fn) for q, fn in outputs.items()]

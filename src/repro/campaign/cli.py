@@ -98,6 +98,27 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--no-cache", action="store_true",
                        help="bypass the result store entirely")
 
+    lint_p = sub.add_parser(
+        "lint", help="static netlist verification (graph-based "
+                     "pre-flight checks)")
+    lint_p.add_argument("targets", nargs="*", metavar="netlist",
+                        help="Spice netlist file path or built-in "
+                             "circuit name (see --list)")
+    lint_p.add_argument("--list", action="store_true", dest="list_only",
+                        help="list built-in circuits and lint rules, "
+                             "then exit")
+    lint_p.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="report format (json round-trips through "
+                             "LintReport.from_json)")
+    lint_p.add_argument("--fail-on", choices=("error", "warn", "info"),
+                        default="error", dest="fail_on",
+                        help="exit non-zero when findings at or above "
+                             "this severity exist (default: error)")
+    lint_p.add_argument("--no-title-line", action="store_true",
+                        help="treat the first netlist line as content, "
+                             "not a title")
+
     cache_p = sub.add_parser("cache", help="inspect the result store")
     cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
     ls_p = cache_sub.add_parser("ls", help="list stored results")
@@ -171,6 +192,69 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: parse/build each target, run the rule engine,
+    exit 0 (clean below --fail-on), 1 (findings at/above --fail-on) or
+    2 (unknown target / parse failure)."""
+    import os
+
+    from repro.circuits import builtin_circuits
+    from repro.spice import ParseError
+    from repro.spice.lint import (
+        Severity,
+        all_rules,
+        lint_circuit,
+        lint_netlist,
+        lint_subckt,
+    )
+    from repro.spice.netlist import Subckt
+
+    builtins = builtin_circuits()
+    if args.list_only:
+        print("built-in circuits:")
+        for name in builtins:
+            print(f"  {name}")
+        print("lint rules:")
+        for rule in all_rules():
+            print(f"  {rule.rule_id:<14s} [{rule.severity.label:<5s}] "
+                  f"{rule.title}")
+        return 0
+    if not args.targets:
+        print("no netlists given (try: python -m repro lint --list)")
+        return 2
+
+    threshold = Severity.from_label(args.fail_on)
+    failed = False
+    for target in args.targets:
+        try:
+            if target in builtins:
+                built = builtins[target]()
+                if isinstance(built, Subckt):
+                    report = lint_subckt(built)
+                else:
+                    report = lint_circuit(built)
+            elif os.path.exists(target):
+                with open(target, encoding="utf-8") as fh:
+                    text = fh.read()
+                report = lint_netlist(
+                    text, title_line=not args.no_title_line)
+            else:
+                print(f"unknown target {target!r}: not a file and not a "
+                      f"built-in circuit (choose from "
+                      f"{', '.join(builtins)})")
+                return 2
+        except ParseError as exc:
+            print(f"{target}: parse error: {exc}")
+            return 2
+        if args.format == "json":
+            print(report.to_json())
+        else:
+            print(report.format_text())
+        if report.at_least(threshold):
+            failed = True
+    return 1 if failed else 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     store = _make_store(args)
     if args.cache_command == "clear":
@@ -225,6 +309,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "run":
             return cmd_run(args)
+        if args.command == "lint":
+            return cmd_lint(args)
         if args.command == "cache":
             return cmd_cache(args)
         if args.command == "report":

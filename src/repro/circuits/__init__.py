@@ -28,6 +28,25 @@ from repro.circuits.corners import (
     format_corner_table,
 )
 
+
+def builtin_circuits():
+    """Named factories of every shipped netlist, for ``python -m repro
+    lint <name>`` and the circuit-QA certification tests.
+
+    Returns:
+        ``{name: factory}`` where each zero-argument factory yields a
+        :class:`~repro.spice.netlist.Circuit` (testbenches) or a
+        :class:`~repro.spice.netlist.Subckt` (linted stand-alone with
+        its ports treated as externally driven).
+    """
+    return {
+        "int_spice": build_integrate_dump,
+        "id_testbench": build_id_testbench,
+        "id_testbench_hold": lambda: build_id_testbench(mode="hold"),
+        "id_testbench_dump": lambda: build_id_testbench(mode="dump"),
+        "id_testbench_ac": lambda: build_id_testbench(ac=True),
+    }
+
 __all__ = [
     "CornerPoint",
     "ID_INTERFACE_PORTS",
@@ -35,6 +54,7 @@ __all__ = [
     "MosSize",
     "build_id_testbench",
     "build_integrate_dump",
+    "builtin_circuits",
     "cmfb_regulation",
     "corner_models",
     "corner_sweep",

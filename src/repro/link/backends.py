@@ -554,14 +554,20 @@ class KernelBackend(Backend):
             vectorized) or ``"reference"`` (the lock-step oracle).
         cosim_substeps: circuit-level steps per kernel step when the
             spec selects the co-simulated netlist.
+        preflight: statically lint a co-simulated netlist (error-level
+            rules) before any MNA assembly; a broken circuit raises
+            :class:`~repro.spice.errors.NetlistLintError` naming the
+            rule and nodes.  ``False`` opts out.
     """
 
     name = "kernel"
 
     def __init__(self, engine: str = "compiled",
-                 cosim_substeps: int = 1):
+                 cosim_substeps: int = 1,
+                 preflight: bool = True):
         self.engine = engine
         self.cosim_substeps = int(cosim_substeps)
+        self.preflight = bool(preflight)
 
     def _harvest_adc(self, spec: LinkSpec
                      ) -> "Adc | _NoQuantization | None":
@@ -586,7 +592,7 @@ class KernelBackend(Backend):
             adc=self._harvest_adc(spec),
             cosim_substeps=self.cosim_substeps, record=record,
             t_hold=spec.frontend.t_hold, t_dump=spec.frontend.t_dump,
-            engine=self.engine)
+            engine=self.engine, preflight=self.preflight)
         if t_stop is None:
             n_symbols = len(waveform) // cfg.samples_per_symbol
             t_stop = n_symbols * cfg.symbol_period

@@ -22,9 +22,11 @@ from repro.spice.errors import (
     AnalysisError,
     ConvergenceError,
     NetlistError,
+    NetlistLintError,
     ParseError,
     SingularMatrixError,
     SpiceError,
+    SpiceParserError,
 )
 from repro.spice.netlist import Circuit, Subckt
 from repro.spice.parser import parse_netlist, parse_value
@@ -53,6 +55,15 @@ from repro.spice.analysis import (
     transient,
 )
 from repro.spice.library import generic_018
+from repro.spice.lint import (
+    LintFinding,
+    LintReport,
+    Severity,
+    lint_circuit,
+    lint_netlist,
+    lint_subckt,
+    preflight_check,
+)
 
 __all__ = [
     "AcResult",
@@ -64,14 +75,19 @@ __all__ = [
     "DcSweepResult",
     "Diode",
     "Inductor",
+    "LintFinding",
+    "LintReport",
     "MosModel",
     "Mosfet",
     "NetlistError",
+    "NetlistLintError",
     "OpResult",
     "ParseError",
+    "Severity",
     "Resistor",
     "SingularMatrixError",
     "SpiceError",
+    "SpiceParserError",
     "Subckt",
     "TranResult",
     "TransientStepper",
@@ -82,8 +98,12 @@ __all__ = [
     "ac_analysis",
     "dc_sweep",
     "generic_018",
+    "lint_circuit",
+    "lint_netlist",
+    "lint_subckt",
     "operating_point",
     "parse_netlist",
     "parse_value",
+    "preflight_check",
     "transient",
 ]

@@ -9,6 +9,19 @@ class NetlistError(SpiceError):
     """A circuit is malformed (bad nodes, duplicate names, missing model)."""
 
 
+class NetlistLintError(NetlistError):
+    """Static lint found error-severity defects (the pre-flight gate).
+
+    Attributes:
+        report: the :class:`~repro.spice.lint.report.LintReport` with
+            every finding (rule ids, nodes, devices), when available.
+    """
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)
+
+
 class ParseError(SpiceError):
     """A Spice-format netlist file could not be parsed."""
 
@@ -21,6 +34,11 @@ class ParseError(SpiceError):
             if line is not None:
                 message = f"{message}\n  >> {line}"
         super().__init__(message)
+
+
+#: Conventional alias (matches the name most Spice tooling uses for its
+#: parser exception).
+SpiceParserError = ParseError
 
 
 class AnalysisError(SpiceError):

@@ -9,6 +9,7 @@ provided by :class:`Subckt`, which is flattened eagerly when instantiated
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -18,7 +19,12 @@ from repro.spice.devices.mosfet import MosModel
 from repro.spice.devices.switch import SwitchModel
 from repro.spice.errors import NetlistError
 
-GROUND_ALIASES = ("0", "gnd")
+#: Names (case-insensitive) that denote the global reference: the
+#: classic ``0``/``gnd`` pair plus the ``!``-suffixed global-net
+#: spelling of digital PDK decks (``gnd!``, ``vss!``).  Shared by the
+#: lint circuit graph and the MNA node numbering, so static checks and
+#: the simulator can never disagree about what is ground.
+GROUND_ALIASES = ("0", "gnd", "gnd!", "vss!")
 
 ModelCard = MosModel | DiodeModel | SwitchModel
 
@@ -51,6 +57,7 @@ class Circuit:
         self.devices: list[Device] = []
         self.models: dict[str, ModelCard] = {}
         self.subckts: dict[str, Subckt] = {}
+        self._subckt_uses: set[str] = set()
         self._device_names: set[str] = set()
         for model in models:
             self.add_model(model)
@@ -97,6 +104,7 @@ class Circuit:
                 subckt = self.subckts[subckt.lower()]
             except KeyError:
                 raise NetlistError(f"unknown subckt {subckt!r}") from None
+        self._subckt_uses.add(subckt.name.lower())
         subckt.flatten_into(self, inst_name.lower(),
                             [normalize_node(n) for n in connections])
         return self
@@ -139,14 +147,21 @@ class Circuit:
         raise NetlistError(f"no device named {device.name!r} to replace")
 
     def validate(self) -> None:
-        """Check structural sanity: a ground reference must exist and every
-        node needs at least two connections (one for sources is allowed on
-        control pins)."""
-        grounded = any(
-            is_ground(node) for dev in self.devices for node in dev.nodes)
-        if self.devices and not grounded:
-            raise NetlistError(
-                f"circuit {self.title!r} has no ground ('0') connection")
+        """Deprecated shallow sanity check, absorbed by the lint engine.
+
+        .. deprecated::
+            Use :func:`repro.spice.lint.lint_circuit` for the full rule
+            set or :func:`repro.spice.lint.preflight_check` for the
+            error-level gate; this shim runs only the historic ground
+            check (rule ``SP-GND-001``).
+        """
+        warnings.warn(
+            "Circuit.validate is deprecated; use repro.spice.lint "
+            "(lint_circuit for reports, preflight_check for the "
+            "error-level gate)", DeprecationWarning, stacklevel=2)
+        from repro.spice.lint import preflight_check
+
+        preflight_check(self, rules=("SP-GND-001",))
 
     def __len__(self) -> int:
         return len(self.devices)
@@ -195,6 +210,9 @@ class Subckt:
 
         for model in self.circuit.models.values():
             target.add_model(model)
+        # Subckts the definition itself expanded count as used at the
+        # top too (the parser shares one subckt table across scopes).
+        target._subckt_uses |= self.circuit._subckt_uses
         for dev in self.circuit.devices:
             node_map = {n: map_node(n) for n in dev.nodes}
             target.add(dev.renamed(f"{inst}.{dev.name}", node_map))

@@ -41,7 +41,7 @@ from repro.spice.devices import (
     VoltageSource,
     VSwitch,
 )
-from repro.spice.errors import ParseError
+from repro.spice.errors import NetlistError, ParseError
 from repro.spice.netlist import Circuit, Subckt
 from repro.spice.units import parse_value
 
@@ -172,13 +172,22 @@ class _NetlistParser:
 
     # -- main entry ----------------------------------------------------
     def parse(self, text: str) -> Circuit:
-        lines = list(_logical_lines(text))
         title = ""
-        if self.title_line and lines:
-            # Classic Spice: the first non-blank line is always the
-            # title, whatever it looks like.
-            _first_no, title = lines[0]
-            lines = lines[1:]
+        if self.title_line:
+            # Classic Spice: the first non-blank *raw* line is always
+            # the title, whatever it looks like - even a ``*`` comment.
+            # Deciding after comment-stripping would silently swallow
+            # the first element of a netlist that opens with a comment.
+            raw_lines = text.splitlines()
+            for i, raw in enumerate(raw_lines):
+                if raw.strip():
+                    title = raw.strip()
+                    # Blank (not delete) the line so error messages keep
+                    # the original numbering.
+                    raw_lines[i] = ""
+                    text = "\n".join(raw_lines)
+                    break
+        lines = list(_logical_lines(text))
         circuit = Circuit(title)
 
         # First pass: collect .param so forward references work.
@@ -367,6 +376,11 @@ class _NetlistParser:
         except IndexError:
             raise ParseError(f"too few fields for element {tokens[0]!r}",
                              no, line) from None
+        except NetlistError as exc:
+            # Duplicate device names, bad subckt bindings and invalid
+            # element values surface as parse errors with the offending
+            # line instead of silently overwriting or failing later.
+            raise ParseError(str(exc), no, line) from None
 
     def _trailing_ic(self, rest: list[str], no: int,
                      line: str) -> float | None:

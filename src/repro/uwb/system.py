@@ -178,6 +178,7 @@ def build_ams_receiver(config: UwbConfig,
                        t_hold: float | None = None,
                        t_dump: float | None = None,
                        engine: str = "compiled",
+                       preflight: bool = True,
                        ) -> tuple[Simulator, "_Harvest"]:
     """Assemble the receiver testbench; see :func:`run_ams_receiver`."""
     config.validate()
@@ -222,7 +223,8 @@ def build_ams_receiver(config: UwbConfig,
             substeps=cosim_substeps,
             initial_guess={"x1.outp": 0.9, "x1.outm": 0.9,
                            "out_intp": 0.9, "out_intm": 0.9,
-                           "vdd": vdd, "inp": cm, "inm": cm})
+                           "vdd": vdd, "inp": cm, "inm": cm},
+            preflight=preflight)
         sim.add_block(block)
     else:
         sim.add_block(BehavioralIntegratorBlock(

@@ -85,3 +85,55 @@ class TestSpiceBlock:
             sim.run_steps(1)
             peak = max(peak, abs(out.value))
         assert peak == pytest.approx(expected_mag, rel=0.1)
+
+
+class TestPreflight:
+    """The static lint gate in front of the embedded circuit engine."""
+
+    def _broken_rc(self) -> Circuit:
+        # 'out' reaches ground only through capacitors: gmin leakage
+        # can still solve this numerically, but it is a netlist bug.
+        ckt = Circuit("rc broken")
+        ckt.add(VoltageSource("vin", "in", "0", dc=0.0),
+                Capacitor("cs", "in", "out", 1e-12),
+                Capacitor("c1", "out", "0", 1e-12))
+        return ckt
+
+    def _make_block(self, circuit, **kwargs):
+        sim = Simulator(dt=1e-11)
+        out = sim.quantity("out")
+        return SpiceBlock("uut", circuit, sim.dt,
+                          inputs={"vin": lambda: 0.0},
+                          outputs={out: lambda st: st.v("out")},
+                          **kwargs)
+
+    def test_rejects_broken_circuit_naming_rule_and_nodes(self):
+        from repro.spice import NetlistLintError
+
+        with pytest.raises(NetlistLintError, match="SP-DCPATH-001") as exc:
+            self._make_block(self._broken_rc())
+        assert "out" in str(exc.value)
+        assert exc.value.report is not None
+
+    def test_rejects_before_any_mna_assembly(self):
+        # A current-source cutset would otherwise surface much later as
+        # an opaque singular-matrix error inside the Newton loop.
+        from repro.spice import CurrentSource, NetlistLintError
+
+        ckt = rc_circuit()
+        ckt.add(CurrentSource("i1", "out", "iso", dc=1e-3),
+                Capacitor("ciso", "iso", "0", 1e-12))
+        with pytest.raises(NetlistLintError, match="SP-"):
+            self._make_block(ckt)
+
+    def test_opt_out_still_simulates(self):
+        # preflight=False: the gmin-leakage path solves the degenerate
+        # netlist, as before the gate existed.
+        block = self._make_block(self._broken_rc(), preflight=False)
+        for _ in range(10):
+            block.step(0.0, 1e-11)
+        assert math.isfinite(block.v("out"))
+
+    def test_clean_circuit_unaffected(self):
+        block = self._make_block(rc_circuit())
+        assert block.stepper.steps_taken == 0

@@ -116,3 +116,105 @@ class TestRunCommand:
             capture_output=True, text=True, timeout=300, env=env)
         assert proc.returncode == 0, proc.stderr
         assert "campaign[table2]" in proc.stdout
+
+
+BROKEN_NETLIST = """* broken fixture
+v1 in 0 dc 1
+r1 in out 1k
+c1 out 0 1p
+rdang hang out 1k
+.end
+"""
+
+CLEAN_NETLIST = """* clean fixture
+v1 in 0 dc 1
+r1 in out 1k
+r2 out 0 1k
+.end
+"""
+
+
+class TestLintCommand:
+    def test_list_shows_builtins_and_rules(self, capsys):
+        code, out = run_cli(capsys, "lint", "--list")
+        assert code == 0
+        assert "id_testbench" in out
+        assert "SP-FLOAT-001" in out
+        assert "SP-DCPATH-001" in out
+
+    def test_no_targets_errors(self, capsys):
+        code, out = run_cli(capsys, "lint")
+        assert code == 2 and "--list" in out
+
+    def test_unknown_target_errors(self, capsys):
+        code, out = run_cli(capsys, "lint", "no_such_thing")
+        assert code == 2 and "unknown target" in out
+
+    def test_builtin_lints_clean(self, capsys):
+        code, out = run_cli(capsys, "lint", "id_testbench")
+        assert code == 0
+        assert "result: CLEAN" in out
+
+    def test_builtin_subckt_lints_clean(self, capsys):
+        code, out = run_cli(capsys, "lint", "int_spice")
+        assert code == 0
+        assert "result: CLEAN" in out
+
+    def test_broken_file_fails_with_named_rule(self, tmp_path, capsys):
+        path = tmp_path / "broken.cir"
+        path.write_text(BROKEN_NETLIST)
+        code, out = run_cli(capsys, "lint", str(path))
+        assert code == 1
+        assert "SP-FLOAT-001" in out
+        assert "hang" in out
+        assert "result: FAIL" in out
+
+    def test_clean_file_passes(self, tmp_path, capsys):
+        path = tmp_path / "clean.cir"
+        path.write_text(CLEAN_NETLIST)
+        code, out = run_cli(capsys, "lint", str(path))
+        assert code == 0 and "result: CLEAN" in out
+
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        from repro.spice.lint import LintReport, Severity
+
+        path = tmp_path / "broken.cir"
+        path.write_text(BROKEN_NETLIST)
+        code, out = run_cli(capsys, "lint", str(path), "--format", "json")
+        assert code == 1
+        report = LintReport.from_json(out)
+        assert not report.ok
+        assert report.errors[0].severity is Severity.ERROR
+        assert {f.rule_id for f in report.errors} == {"SP-FLOAT-001"}
+
+    def test_fail_on_warn_tightens_gate(self, tmp_path, capsys):
+        path = tmp_path / "warny.cir"
+        # A shorted resistor: warn-level only.
+        path.write_text("* warn fixture\n"
+                        "v1 a 0 dc 1\nr1 a 0 1k\nrs a a 1k\n")
+        code, _ = run_cli(capsys, "lint", str(path))
+        assert code == 0
+        code, _ = run_cli(capsys, "lint", str(path), "--fail-on", "warn")
+        assert code == 1
+
+    def test_parse_error_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.cir"
+        path.write_text("* bad\nq1 a b c\n")
+        code, out = run_cli(capsys, "lint", str(path))
+        assert code == 2 and "parse error" in out
+
+    def test_multiple_targets_worst_wins(self, tmp_path, capsys):
+        clean = tmp_path / "clean.cir"
+        clean.write_text(CLEAN_NETLIST)
+        broken = tmp_path / "broken.cir"
+        broken.write_text(BROKEN_NETLIST)
+        code, out = run_cli(capsys, "lint", str(clean), str(broken))
+        assert code == 1
+        assert out.count("lint ") == 2
+
+    def test_no_title_line_mode(self, tmp_path, capsys):
+        path = tmp_path / "headless.cir"
+        path.write_text("v1 in 0 dc 1\nr1 in 0 1k\n")
+        code, out = run_cli(capsys, "lint", str(path),
+                            "--no-title-line")
+        assert code == 0 and "result: CLEAN" in out

@@ -278,3 +278,42 @@ def _conditioned(bits: np.ndarray) -> np.ndarray:
                         amplitude=1.0)
     sig = build_bpf(SPEC)(wave)
     return 0.25 * sig / np.max(np.abs(sig))
+
+
+class TestKernelPreflight:
+    """The static lint gate in front of the co-simulated netlist."""
+
+    def _sabotaged_testbench(self, *args, **kwargs):
+        from repro.circuits import build_id_testbench
+
+        tb = build_id_testbench(*args, **kwargs)
+        from repro.spice import Resistor
+
+        tb.add(Resistor("rmut", "out_intp", "mut_dangling", 1e3))
+        return tb
+
+    def test_packet_refuses_broken_netlist(self, monkeypatch):
+        import repro.uwb.system as system
+        from repro.spice import NetlistLintError
+
+        monkeypatch.setattr(system, "build_id_testbench",
+                            self._sabotaged_testbench)
+        sig = _conditioned(np.array([1, 0], dtype=np.int8))
+        spec = SPEC.with_(integrator="circuit")
+        with pytest.raises(NetlistLintError, match="SP-FLOAT-001") as exc:
+            KernelBackend(cosim_substeps=1).packet(spec, sig)
+        assert "mut_dangling" in str(exc.value)
+
+    def test_opt_out_builds_the_sim(self, monkeypatch):
+        import repro.uwb.system as system
+
+        monkeypatch.setattr(system, "build_id_testbench",
+                            self._sabotaged_testbench)
+        config = FAST
+        sim, _harvest = system.build_ams_receiver(
+            config, "circuit", np.zeros(32), preflight=False)
+        assert sim is not None
+
+    def test_flag_threads_through_constructor(self):
+        assert KernelBackend().preflight is True
+        assert KernelBackend(preflight=False).preflight is False

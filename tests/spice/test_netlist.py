@@ -10,10 +10,26 @@ from repro.spice.netlist import is_ground, normalize_node
 
 
 class TestNodes:
-    @pytest.mark.parametrize("alias", ["0", "gnd", "GND", "Gnd"])
+    @pytest.mark.parametrize(
+        "alias", ["0", "gnd", "GND", "Gnd", "gnd!", "GND!", "vss!", "VSS!"])
     def test_ground_aliases(self, alias):
         assert is_ground(alias)
         assert normalize_node(alias) == "0"
+
+    @pytest.mark.parametrize("node", ["vss", "vdd", "out", "agnd", "gnd2"])
+    def test_non_ground_nodes(self, node):
+        assert not is_ground(node)
+        assert normalize_node(node) == node.lower()
+
+    def test_ground_aliases_unify_in_circuit(self):
+        # All spellings land on the single net "0": a device wired to
+        # GND and one wired to vss! share a node.
+        ckt = Circuit("t")
+        ckt.add(Resistor("r1", "a", "GND", 1.0))
+        ckt.add(Resistor("r2", "a", "vss!", 1.0))
+        assert ckt.node_names() == ["a"]
+        assert ckt.device("r1").nodes[1] == "0"
+        assert ckt.device("r2").nodes[1] == "0"
 
     def test_case_insensitive_nodes(self):
         ckt = Circuit("t")
@@ -51,9 +67,18 @@ class TestCircuit:
             ckt.replace_device(Resistor("r9", "a", "0", 2.0))
 
     def test_validate_requires_ground(self):
+        # validate() is now a deprecation shim over the lint engine's
+        # ground rule; it must still raise, and must warn.
         ckt = Circuit("t")
         ckt.add(Resistor("r1", "a", "b", 1.0))
-        with pytest.raises(NetlistError):
+        with pytest.warns(DeprecationWarning, match="lint"):
+            with pytest.raises(NetlistError):
+                ckt.validate()
+
+    def test_validate_shim_passes_grounded(self):
+        ckt = Circuit("t")
+        ckt.add(Resistor("r1", "a", "0", 1.0))
+        with pytest.warns(DeprecationWarning):
             ckt.validate()
 
     def test_model_conflict(self):

@@ -230,3 +230,69 @@ xtop n1 n2 pair
         ckt = parse_netlist(text)
         assert ckt.device("xtop.x1.r1").nodes == ("n1", "xtop.m")
         assert ckt.device("xtop.x2.r1").nodes == ("xtop.m", "n2")
+
+
+class TestEdgeCases:
+    """Corner cases of real-world deck formatting."""
+
+    def test_title_may_be_a_comment(self):
+        # Classic Spice: the first raw line is the title even when it
+        # looks like a comment; the first element must NOT be eaten.
+        text = "* extracted by hand\nv1 in 0 dc 1\nr1 in 0 1k\n"
+        ckt = parse_netlist(text)
+        assert ckt.title == "* extracted by hand"
+        assert len(ckt) == 2
+        assert ckt.device("v1").dc == 1.0
+
+    def test_continuations_interleaved_with_comments(self):
+        text = """title
+r1 a
+* resistance chosen per figure 4
++ 0
+; units: ohms
++ 1k
+r2 a 0 2k
+"""
+        ckt = parse_netlist(text)
+        assert ckt.device("r1").nodes == ("a", "0")
+        assert ckt.device("r1").value == 1000.0
+        assert len(ckt) == 2
+
+    def test_continuation_across_blank_line(self):
+        ckt = parse_netlist("title\nr1 a\n\n+ 0 1k\n")
+        assert ckt.device("r1").value == 1000.0
+
+    def test_subckt_directives_case_insensitive(self):
+        text = """t
+.SUBCKT DIV IN OUT
+R1 IN OUT 1K
+.ENDS
+Xdiv n1 n2 div
+"""
+        ckt = parse_netlist(text)
+        assert "div" in ckt.subckts
+        assert ckt.device("xdiv.r1").nodes == ("n1", "n2")
+
+    def test_mixed_case_ends_with_name(self):
+        text = "t\n.SubCkt u a\nr1 a 0 1\n.EnDs U\nxu n u\n"
+        ckt = parse_netlist(text)
+        assert len(ckt) == 1
+
+    def test_duplicate_device_name_is_parse_error(self):
+        with pytest.raises(ParseError) as exc:
+            parse_netlist("t\nr1 a 0 1k\nr1 a 0 2k\n")
+        msg = str(exc.value)
+        assert "line 3" in msg
+        assert "r1" in msg
+
+    def test_duplicate_differs_only_by_case(self):
+        with pytest.raises(ParseError):
+            parse_netlist("t\nr1 a 0 1k\nR1 b 0 2k\n")
+
+    def test_spice_parser_error_alias(self):
+        # SpiceParserError is the conventional name other tools use.
+        from repro.spice import SpiceParserError
+
+        assert SpiceParserError is ParseError
+        with pytest.raises(SpiceParserError):
+            parse_netlist("t\nr1 a 0 1k\nr1 a 0 2k\n")
