@@ -2,19 +2,38 @@
 
 The paper's point is making mixed-signal system simulation cheap
 enough for large design-space exploration; this subsystem makes such
-campaigns *incremental*:
+campaigns *incremental* and *scale-out*:
 
 * :mod:`repro.campaign.store` - a content-addressed result store
-  (JSON index + NPZ payloads) keyed by a stable hash of
+  (append-journal index + NPZ payloads) keyed by a stable hash of
   ``(fn qualname, params, seed, code-version salt)``,
+* :mod:`repro.campaign.shard` - the same contract sharded by key
+  prefix with per-shard file locks, safe for fleets of concurrent
+  writer processes, plus ``merge`` (union caches computed on
+  independent machines) and ``gc`` (size/age eviction),
+* :mod:`repro.campaign.objects` - the object codec both stores share,
+* :mod:`repro.campaign.locking` - the advisory file-lock primitive,
 * :mod:`repro.campaign.runner` - a resumable drop-in
   :class:`~repro.core.scenario.SweepRunner` that checkpoints every
-  scenario result as it completes and re-runs only what is missing,
+  scenario result as it completes, re-runs only what is missing, and
+  reports progress/honors preemption for the queue,
+* :mod:`repro.campaign.queue` - a durable job queue + work-stealing
+  worker loop turning ``repro run`` campaigns into a service
+  (``repro queue submit|status|work|drain``),
 * :mod:`repro.campaign.cli` - the ``python -m repro`` command line
   driving all experiment harnesses through the campaign layer.
 """
 
-from repro.campaign.runner import CampaignReport, CampaignRunner
+from repro.campaign.locking import FileLock, LockTimeout
+from repro.campaign.queue import JobQueue, JobSpec, default_queue_dir
+from repro.campaign.runner import (
+    CampaignError,
+    CampaignPreempted,
+    CampaignProgress,
+    CampaignReport,
+    CampaignRunner,
+)
+from repro.campaign.shard import ShardedResultStore, is_sharded_layout
 from repro.campaign.store import (
     ResultStore,
     StoreEntry,
@@ -23,10 +42,20 @@ from repro.campaign.store import (
 )
 
 __all__ = [
+    "CampaignError",
+    "CampaignPreempted",
+    "CampaignProgress",
     "CampaignReport",
     "CampaignRunner",
+    "FileLock",
+    "JobQueue",
+    "JobSpec",
+    "LockTimeout",
     "ResultStore",
+    "ShardedResultStore",
     "StoreEntry",
     "default_cache_dir",
+    "default_queue_dir",
     "default_salt",
+    "is_sharded_layout",
 ]

@@ -11,8 +11,14 @@ runs are cached, resumable and scriptable:
     python -m repro run fig5 table2          # several experiments
     python -m repro run mui --fast           # multi-user interference
     python -m repro run ablations --full     # paper-scale budgets
+    python -m repro queue submit fig6 table2 # enqueue campaigns...
+    python -m repro queue work               # ...and run them (fleet-safe)
+    python -m repro queue status             # progress/ETA per job
+    python -m repro queue drain              # empty the queue
     python -m repro cache ls                 # stored results
     python -m repro cache clear              # drop stored results
+    python -m repro cache gc --max-bytes N   # evict oldest (sharded)
+    python -m repro cache merge SRC          # union another cache in
     python -m repro report                   # re-print saved reports
 
 Experiments self-register via the ``@experiment`` decorator in
@@ -23,8 +29,13 @@ scenarios out over a process pool, ``--seed`` overrides the
 experiment's default seed, ``--chunk-bits`` sizes the Monte-Carlo
 chunks, ``--batch-points`` / ``--no-batch-points`` select the
 scenario-batched sweep kernel versus the legacy per-point loop, and
-``--cache-dir`` / ``--no-cache`` control the result store.  Re-running a completed campaign executes
-zero scenarios; an interrupted campaign resumes from its checkpoints.
+``--cache-dir`` / ``--no-cache`` / ``--sharded`` control the result
+store (the flavor is autodetected from an existing layout; fresh
+directories are classic for ``run`` and sharded for ``queue work``).
+Re-running a completed campaign executes zero scenarios; an
+interrupted campaign resumes from its checkpoints.  ``queue work``
+converts SIGINT/SIGTERM into graceful preemption: the in-flight job
+checkpoints what completed and goes back to pending.
 """
 
 from __future__ import annotations
@@ -51,7 +62,7 @@ def _positive_int(text: str) -> int:
 
 
 def _registry():
-    """Experiment discovery, deferred so ``cache``/``report`` commands
+    """Experiment discovery, deferred so ``cache``/``queue`` commands
     stay import-light."""
     from repro.experiments.registry import all_experiments
 
@@ -74,26 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(see --list)")
     run_p.add_argument("--list", action="store_true", dest="list_only",
                        help="list registered experiments and exit")
-    budget = run_p.add_mutually_exclusive_group()
-    budget.add_argument("--fast", action="store_true", default=True,
-                        help="quick Monte-Carlo budgets (default)")
-    budget.add_argument("--full", action="store_true",
-                        help="paper-scale Monte-Carlo budgets")
-    run_p.add_argument("--processes", type=int, default=None,
-                       help="fan scenarios out over N processes")
-    run_p.add_argument("--seed", type=int, default=None,
-                       help="override the experiment's default seed")
-    run_p.add_argument("--chunk-bits", type=_positive_int, default=None,
-                       metavar="N",
-                       help="Monte-Carlo chunk size (bits per "
-                            "vectorized chunk; default: backend "
-                            "native)")
-    run_p.add_argument("--batch-points",
-                       action=argparse.BooleanOptionalAction,
-                       default=True,
-                       help="scenario-batched sweep kernel (default) "
-                            "vs. the legacy per-point loop "
-                            "(--no-batch-points)")
+    _add_budget_flags(run_p)
     _add_cache_flags(run_p)
     run_p.add_argument("--no-cache", action="store_true",
                        help="bypass the result store entirely")
@@ -119,12 +111,77 @@ def build_parser() -> argparse.ArgumentParser:
                         help="treat the first netlist line as content, "
                              "not a title")
 
+    queue_p = sub.add_parser(
+        "queue", help="campaign-as-a-service: durable job queue + "
+                      "work-stealing workers")
+    queue_sub = queue_p.add_subparsers(dest="queue_command",
+                                       required=True)
+    submit_p = queue_sub.add_parser(
+        "submit", help="enqueue experiment campaigns as durable jobs")
+    submit_p.add_argument("experiments", nargs="+", metavar="experiment",
+                          help="registered experiment names")
+    _add_budget_flags(submit_p)
+    submit_p.add_argument("--module", action="append", default=[],
+                          metavar="MOD",
+                          help="extra module(s) the worker imports "
+                               "before resolving the experiment "
+                               "(carries user @experiment "
+                               "registrations with the job)")
+    _add_queue_flags(submit_p)
+
+    status_p = queue_sub.add_parser(
+        "status", help="pending/claimed/done/failed jobs with "
+                       "progress and ETA")
+    _add_queue_flags(status_p)
+
+    work_p = queue_sub.add_parser(
+        "work", help="claim and run queued jobs (fleet-safe; "
+                     "SIGINT/SIGTERM preempt gracefully)")
+    _add_queue_flags(work_p)
+    _add_cache_flags(work_p)
+    work_p.add_argument("--worker-id", default=None, metavar="ID",
+                        help="worker name stamped into heartbeats "
+                             "(default: host-pid)")
+    work_p.add_argument("--follow", action="store_true",
+                        help="keep polling after the queue drains "
+                             "(resident worker)")
+    work_p.add_argument("--poll", type=float, default=0.5, metavar="S",
+                        help="idle sleep between claims with --follow "
+                             "(default: 0.5s)")
+    work_p.add_argument("--max-jobs", type=_positive_int, default=None,
+                        metavar="N", help="stop after N jobs")
+    work_p.add_argument("--stale-after", type=float, default=None,
+                        metavar="S",
+                        help="reclaim claimed jobs whose heartbeat is "
+                             "older than S seconds (default: 300)")
+
+    drain_p = queue_sub.add_parser(
+        "drain", help="empty the queue (jobs in every state; the "
+                      "result store is untouched)")
+    _add_queue_flags(drain_p)
+
     cache_p = sub.add_parser("cache", help="inspect the result store")
     cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
     ls_p = cache_sub.add_parser("ls", help="list stored results")
     _add_cache_flags(ls_p)
     clear_p = cache_sub.add_parser("clear", help="delete stored results")
     _add_cache_flags(clear_p)
+    gc_p = cache_sub.add_parser(
+        "gc", help="evict stored results by total size and/or age "
+                   "(sharded store)")
+    _add_cache_flags(gc_p)
+    gc_p.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                      help="evict oldest entries until the store is "
+                           "at most N bytes")
+    gc_p.add_argument("--max-age", type=float, default=None, metavar="S",
+                      help="evict entries created more than S seconds "
+                           "ago")
+    merge_p = cache_sub.add_parser(
+        "merge", help="union another store's results into this one "
+                      "(newest wins per key)")
+    merge_p.add_argument("source", metavar="SRC",
+                         help="source store directory (either flavor)")
+    _add_cache_flags(merge_p)
 
     report_p = sub.add_parser(
         "report", help="print the saved report of past runs")
@@ -134,14 +191,55 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
+    """Execution knobs shared by ``run`` and ``queue submit``."""
+    budget = parser.add_mutually_exclusive_group()
+    budget.add_argument("--fast", action="store_true", default=True,
+                        help="quick Monte-Carlo budgets (default)")
+    budget.add_argument("--full", action="store_true",
+                        help="paper-scale Monte-Carlo budgets")
+    parser.add_argument("--processes", type=int, default=None,
+                        help="fan scenarios out over N processes")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the experiment's default seed")
+    parser.add_argument("--chunk-bits", type=_positive_int, default=None,
+                        metavar="N",
+                        help="Monte-Carlo chunk size (bits per "
+                             "vectorized chunk; default: backend "
+                             "native)")
+    parser.add_argument("--batch-points",
+                        action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="scenario-batched sweep kernel (default) "
+                             "vs. the legacy per-point loop "
+                             "(--no-batch-points)")
+
+
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="result-store directory (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--sharded",
+                        action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="force the sharded (or classic) store "
+                             "flavor; default: autodetect from the "
+                             "existing layout")
 
 
-def _make_store(args: argparse.Namespace) -> ResultStore:
-    return ResultStore(args.cache_dir)
+def _add_queue_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--queue-dir", default=None, metavar="DIR",
+                        help="job-queue directory (default: "
+                             "$REPRO_QUEUE_DIR or <cache root>/queue)")
+
+
+def _make_store(args: argparse.Namespace, *,
+                default_sharded: bool = False) -> ResultStore:
+    from repro.campaign.queue import open_store
+
+    return open_store(args.cache_dir,
+                      sharded=getattr(args, "sharded", None),
+                      default_sharded=default_sharded)
 
 
 def cmd_list() -> int:
@@ -255,12 +353,146 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_queue(args: argparse.Namespace) -> int:
+    """``repro queue submit|status|work|drain``."""
+    from repro.campaign.queue import JobQueue, work_loop
+
+    queue = JobQueue(args.queue_dir)
+    if args.queue_command == "submit":
+        return _queue_submit(queue, args)
+    if args.queue_command == "status":
+        return _queue_status(queue)
+    if args.queue_command == "work":
+        return _queue_work(queue, args, work_loop)
+    if args.queue_command == "drain":
+        removed = queue.drain()
+        total = sum(removed.values())
+        detail = " ".join(f"{state}={n}" for state, n in removed.items())
+        print(f"drained {total} job(s) from {queue.root} ({detail})")
+        return 0
+    raise AssertionError(f"unhandled queue command "
+                         f"{args.queue_command!r}")
+
+
+def _queue_submit(queue, args: argparse.Namespace) -> int:
+    from repro.campaign.queue import JobSpec
+
+    # User modules may register extra experiments; import them before
+    # validating the names (the worker repeats the import job-side).
+    import importlib
+
+    for module in args.module:
+        importlib.import_module(module)
+    experiments = _registry()
+    unknown = sorted(set(args.experiments) - set(experiments))
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)} "
+              f"(choose from {', '.join(experiments)})")
+        return 2
+    for name in args.experiments:
+        job_id = queue.submit(JobSpec(
+            experiment=name, full=args.full, seed=args.seed,
+            processes=args.processes, chunk_bits=args.chunk_bits,
+            batch_points=args.batch_points,
+            modules=tuple(args.module)))
+        print(f"submitted {job_id} [{name}]")
+    counts = queue.counts()
+    print(f"queue at {queue.root}: pending={counts['pending']} "
+          f"claimed={counts['claimed']} done={counts['done']} "
+          f"failed={counts['failed']}")
+    return 0
+
+
+def _queue_status(queue) -> int:
+    now = time.time()
+    counts = queue.counts()
+    print(f"queue at {queue.root}")
+    for state in ("pending", "claimed"):
+        print(f"{state}: {counts[state]}")
+        for job_id, spec in queue.jobs(state):
+            line = f"  {job_id} [{spec.experiment}]"
+            if state == "claimed":
+                beat = queue.read_heartbeat(job_id)
+                if beat is not None:
+                    line += f" worker={beat.get('worker', '?')}"
+                    if beat.get("total"):
+                        line += (f" done={beat.get('done', 0)}"
+                                 f"/{beat.get('total')}")
+                    eta = beat.get("eta_seconds")
+                    if eta is not None:
+                        line += f" eta={eta:.1f}s"
+                    line += f" age={now - beat.get('time', now):.1f}s"
+                else:
+                    line += " (no heartbeat yet)"
+            print(line)
+    # concluded jobs carry outcome records, not specs
+    for state in ("done", "failed"):
+        print(f"{state}: {counts[state]}")
+        for job_id in queue.job_ids(state):
+            outcome = queue.outcome(job_id) or {}
+            line = (f"  {job_id} [{outcome.get('experiment', '?')}]"
+                    f" executed={outcome.get('executed', 0)} "
+                    f"cached={outcome.get('cached', 0)} "
+                    f"wall={outcome.get('wall', 0.0):.3f}s")
+            if outcome.get("error"):
+                line += f" error={outcome['error']}"
+            print(line)
+    return 0
+
+
+def _queue_work(queue, args: argparse.Namespace, work_loop) -> int:
+    import os
+    import signal
+    import socket
+    import threading
+
+    store = _make_store(args, default_sharded=True)
+    worker = args.worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    stop = threading.Event()
+
+    def on_signal(signum, frame):
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, on_signal)
+        except ValueError:  # not the main thread (embedded use)
+            pass
+    from repro.campaign.queue import DEFAULT_STALE_AFTER
+
+    stale_after = args.stale_after if args.stale_after is not None \
+        else DEFAULT_STALE_AFTER
+    try:
+        outcomes = work_loop(queue, store, worker=worker,
+                             follow=args.follow, poll=args.poll,
+                             max_jobs=args.max_jobs,
+                             stale_after=stale_after,
+                             preempt=stop.is_set, log=print)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    executed = sum(o.get("executed", 0) for o in outcomes)
+    cached = sum(o.get("cached", 0) for o in outcomes)
+    states = [o.get("state") for o in outcomes]
+    print(f"worker {worker}: {len(outcomes)} job(s) "
+          f"(done={states.count('done')} failed={states.count('failed')} "
+          f"preempted={states.count('preempted')}) "
+          f"executed={executed} cached={cached} store={store.root}")
+    return 1 if "failed" in states else 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     store = _make_store(args)
     if args.cache_command == "clear":
-        removed = store.clear()
-        print(f"removed {removed} stored results from {store.root}")
+        removed, freed = store.clear()
+        print(f"removed {removed} stored results "
+              f"({freed / 1024:.1f} KiB) from {store.root}")
         return 0
+    if args.cache_command == "gc":
+        return _cache_gc(store, args)
+    if args.cache_command == "merge":
+        return _cache_merge(store, args)
     entries = store.entries()
     if not entries:
         print(f"(result store at {store.root} is empty)")
@@ -275,6 +507,40 @@ def cmd_cache(args: argparse.Namespace) -> int:
               f"  {e.fn}")
     print(f"{len(entries)} results, {total / 1024:.1f} KiB total, "
           f"root {store.root}")
+    return 0
+
+
+def _cache_gc(store, args: argparse.Namespace) -> int:
+    from repro.campaign.shard import ShardedResultStore
+
+    if not isinstance(store, ShardedResultStore):
+        print(f"cache gc needs the sharded store; {store.root} holds "
+              f"a classic layout (use `repro cache clear`, or migrate "
+              f"with `repro cache merge` into a sharded directory)")
+        return 2
+    if args.max_bytes is None and args.max_age is None:
+        print("nothing to do: give --max-bytes and/or --max-age")
+        return 2
+    evicted, freed = store.gc(max_bytes=args.max_bytes,
+                              max_age=args.max_age)
+    print(f"evicted {evicted} stored results "
+          f"({freed / 1024:.1f} KiB) from {store.root}")
+    return 0
+
+
+def _cache_merge(store, args: argparse.Namespace) -> int:
+    from repro.campaign.queue import open_store
+    from repro.campaign.shard import ShardedResultStore
+
+    if not isinstance(store, ShardedResultStore):
+        print(f"cache merge needs a sharded destination; {store.root} "
+              f"holds a classic layout (pass --sharded with a fresh "
+              f"--cache-dir to migrate into)")
+        return 2
+    source = open_store(args.source, default_sharded=False)
+    adopted = store.merge(source)
+    print(f"merged {adopted} entr{'y' if adopted == 1 else 'ies'} "
+          f"from {source.root} into {store.root}")
     return 0
 
 
@@ -311,6 +577,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_run(args)
         if args.command == "lint":
             return cmd_lint(args)
+        if args.command == "queue":
+            return cmd_queue(args)
         if args.command == "cache":
             return cmd_cache(args)
         if args.command == "report":

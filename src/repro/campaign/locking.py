@@ -1,0 +1,122 @@
+"""Advisory inter-process file locks for the campaign stores.
+
+The sharded store serializes *tiny* critical sections (appending one
+line to a per-shard index journal, swapping files during GC) across
+writer processes.  OS advisory locks are the right primitive for that:
+
+* they are released automatically when the holding process dies, so a
+  crashed worker can never wedge the store (no stale-lockfile cleanup
+  protocol),
+* they cost one ``open`` + one syscall, negligible next to the NPZ
+  payload writes they guard,
+* they are advisory - readers that do not take the lock (the whole
+  read path, which relies on atomic renames instead) are never blocked.
+
+:class:`FileLock` wraps ``fcntl.flock`` on POSIX and ``msvcrt.locking``
+on Windows behind one context manager::
+
+    with FileLock(shard_dir / ".lock"):
+        append_index_line(...)
+
+Locks are held per *instance*, not per process: two ``FileLock``
+objects on the same path in one process do contend (which is what the
+store wants - it treats threads like processes).  Instances are not
+reentrant.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+try:  # POSIX
+    import fcntl
+
+    def _try_lock(fd: int) -> bool:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            return True
+        except OSError:
+            return False
+
+    def _unlock(fd: int) -> None:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+
+except ImportError:  # pragma: no cover - Windows
+    import msvcrt
+
+    def _try_lock(fd: int) -> bool:
+        try:
+            os.lseek(fd, 0, os.SEEK_SET)
+            msvcrt.locking(fd, msvcrt.LK_NBLCK, 1)
+            return True
+        except OSError:
+            return False
+
+    def _unlock(fd: int) -> None:
+        os.lseek(fd, 0, os.SEEK_SET)
+        msvcrt.locking(fd, msvcrt.LK_UNLCK, 1)
+
+
+class LockTimeout(TimeoutError):
+    """The lock could not be acquired within the timeout."""
+
+
+class FileLock:
+    """Exclusive advisory lock on *path* (created if missing).
+
+    Args:
+        path: lock-file path; its parent directory is created lazily.
+            The file itself carries no data - only the OS lock state.
+        timeout: seconds to keep retrying before :class:`LockTimeout`.
+            The default is generous because the guarded sections are
+            sub-millisecond; a timeout firing indicates a dead-lock
+            level bug, not contention.
+        poll_interval: sleep between non-blocking attempts.
+    """
+
+    def __init__(self, path: str | os.PathLike, *,
+                 timeout: float = 30.0, poll_interval: float = 0.005):
+        self.path = Path(path)
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self._fd: int | None = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self) -> "FileLock":
+        if self._fd is not None:
+            raise RuntimeError(f"lock {self.path} is not reentrant")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        deadline = time.monotonic() + self.timeout
+        try:
+            while not _try_lock(fd):
+                if time.monotonic() >= deadline:
+                    raise LockTimeout(
+                        f"could not lock {self.path} within "
+                        f"{self.timeout:.1f}s")
+                time.sleep(self.poll_interval)
+        except BaseException:
+            os.close(fd)
+            raise
+        self._fd = fd
+        return self
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        try:
+            _unlock(fd)
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

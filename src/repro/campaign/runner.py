@@ -1,7 +1,9 @@
 """Resumable campaign execution on top of :class:`SweepRunner`.
 
 A :class:`CampaignRunner` is a drop-in :class:`SweepRunner` that,
-when given a :class:`~repro.campaign.store.ResultStore`,
+when given a result store (either flavor -
+:class:`~repro.campaign.store.ResultStore` or
+:class:`~repro.campaign.shard.ShardedResultStore`),
 
 * serves already-computed scenarios straight from the store (their
   :class:`SweepResult` comes back with ``cached=True``),
@@ -13,12 +15,30 @@ when given a :class:`~repro.campaign.store.ResultStore`,
 
 With ``store=None`` it behaves exactly like a plain ``SweepRunner``,
 so harnesses can route through it unconditionally.
+
+The queue worker (:mod:`repro.campaign.queue`) attaches two hooks to
+the store it hands the harness, and the runner honors them:
+
+* ``store.progress_hook`` receives a :class:`CampaignProgress` after
+  every completed scenario (cached or executed), carrying an ETA
+  derived from the per-scenario wall-time history - cache hits
+  contribute their original run's wall time, so the estimate is
+  meaningful from the first heartbeat of a resumed campaign.
+* ``store.preempt_hook`` is polled between checkpoints; once it
+  returns true the runner stops starting new work, checkpoints
+  everything already in flight, and raises
+  :class:`CampaignPreempted` - the worker then requeues the job, and
+  the next run resumes from the checkpoints.
+
+Failures are wrapped in :class:`CampaignError`, which names the failed
+scenario(s) and says how many sibling results were still checkpointed
+(so an operator knows a re-run will only redo the failures).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.core.scenario import (
     Scenario,
@@ -28,6 +48,71 @@ from repro.core.scenario import (
     _execute,
 )
 from repro.campaign.store import ResultStore
+
+
+class CampaignError(RuntimeError):
+    """One or more scenarios of a campaign failed.
+
+    Attributes:
+        failures: ``[(scenario name, exception), ...]`` in completion
+            order.
+        checkpointed: sibling results that completed and were written
+            to the store before this error was raised - a re-run
+            executes only the failures.
+    """
+
+    def __init__(self, failures: list[tuple[str, BaseException]],
+                 checkpointed: int):
+        self.failures = failures
+        self.checkpointed = checkpointed
+        names = ", ".join(name for name, _ in failures)
+        first = failures[0][1]
+        super().__init__(
+            f"{len(failures)} campaign scenario(s) failed ({names}): "
+            f"{first}; {checkpointed} sibling result(s) were "
+            f"checkpointed and will be served from cache on re-run")
+
+
+class CampaignPreempted(RuntimeError):
+    """The campaign was preempted (store ``preempt_hook`` fired).
+
+    Everything already completed was checkpointed; ``remaining`` names
+    the scenarios a re-run still has to execute.
+    """
+
+    def __init__(self, checkpointed: int, remaining: list[str]):
+        self.checkpointed = checkpointed
+        self.remaining = remaining
+        super().__init__(
+            f"campaign preempted: {checkpointed} result(s) "
+            f"checkpointed, {len(remaining)} scenario(s) requeued")
+
+
+@dataclass(frozen=True)
+class CampaignProgress:
+    """One progress tick, delivered after each completed scenario.
+
+    Attributes:
+        done / total: completed vs. submitted scenarios (cache hits
+            count as done immediately).
+        executed / cached: breakdown of ``done``.
+        eta_seconds: projected remaining wall time from the mean of
+            the per-scenario wall-time history (cache hits contribute
+            their original run's time); ``None`` until at least one
+            sample exists.
+        last_name: the scenario that just completed.
+    """
+
+    done: int
+    total: int
+    executed: int
+    cached: int
+    eta_seconds: float | None
+    last_name: str | None = None
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done
 
 
 @dataclass
@@ -53,27 +138,89 @@ class CampaignReport(SweepReport):
                 f"wall={self.executed_wall_time:.3f}s")
 
 
+class _ProgressTracker:
+    """Wall-time history + progress fan-out for one run() invocation."""
+
+    def __init__(self, total: int,
+                 hook: Callable[[CampaignProgress], None] | None):
+        self.total = total
+        self.hook = hook
+        self.executed = 0
+        self.cached = 0
+        self._samples: list[float] = []
+
+    @property
+    def done(self) -> int:
+        return self.executed + self.cached
+
+    def eta_seconds(self) -> float | None:
+        if not self._samples:
+            return None
+        mean = sum(self._samples) / len(self._samples)
+        return mean * (self.total - self.done)
+
+    def tick(self, result: SweepResult, *, cached: bool) -> None:
+        if cached:
+            self.cached += 1
+        else:
+            self.executed += 1
+        self._samples.append(result.wall_time)
+        if self.hook is not None:
+            self.hook(CampaignProgress(
+                done=self.done, total=self.total,
+                executed=self.executed, cached=self.cached,
+                eta_seconds=self.eta_seconds(),
+                last_name=result.name))
+
+
 class CampaignRunner(SweepRunner):
     """A :class:`SweepRunner` with content-addressed result caching.
 
     Args:
         scenarios: initial scenarios (more can be :meth:`add`-ed).
         processes: fan-out degree (see :class:`SweepRunner`).
-        store: result store; ``None`` disables caching entirely.
+        store: result store, either flavor; ``None`` disables caching
+            entirely.
+        progress: optional progress callback; defaults to the store's
+            ``progress_hook`` (the queue worker's channel).
+        preempt: optional zero-argument callable polled between
+            checkpoints; defaults to the store's ``preempt_hook``.
     """
 
     def __init__(self, scenarios: Iterable[Scenario] = (), *,
                  processes: int | None = None,
-                 store: ResultStore | None = None):
+                 store: ResultStore | None = None,
+                 progress: Callable[[CampaignProgress], None] | None = None,
+                 preempt: Callable[[], bool] | None = None):
         super().__init__(scenarios, processes=processes)
         self.store = store
+        self.progress = progress
+        self.preempt = preempt
+
+    def _hooks(self):
+        progress = self.progress
+        if progress is None and self.store is not None:
+            progress = getattr(self.store, "progress_hook", None)
+        preempt = self.preempt
+        if preempt is None and self.store is not None:
+            preempt = getattr(self.store, "preempt_hook", None)
+        return progress, preempt
 
     def run(self) -> CampaignReport:
-        """Execute the campaign; cached scenarios are not re-run."""
+        """Execute the campaign; cached scenarios are not re-run.
+
+        Raises:
+            CampaignError: one or more scenarios failed (completed
+                siblings were checkpointed first).
+            CampaignPreempted: the store's ``preempt_hook`` fired; the
+                remainder should be requeued.
+        """
         if self.store is None:
             plain = super().run()
             return CampaignReport(results=plain.results,
                                   executed=len(plain.results), cached=0)
+        progress, preempt = self._hooks()
+        tracker = _ProgressTracker(len(self.scenarios), progress)
         slots: list[SweepResult | None] = [None] * len(self.scenarios)
         pending: list[tuple[int, str | None, Scenario]] = []
         for i, scenario in enumerate(self.scenarios):
@@ -84,29 +231,45 @@ class CampaignRunner(SweepRunner):
             hit = self.store.get(scenario, key)
             if hit is not None:
                 slots[i] = hit
+                tracker.tick(hit, cached=True)
             else:
                 pending.append((i, key, scenario))
         if pending:
-            self._execute_pending(pending, slots)
+            self._execute_pending(pending, slots, tracker, preempt)
         return CampaignReport(results=[r for r in slots if r is not None],
                               executed=len(pending),
                               cached=len(self.scenarios) - len(pending))
 
-    def _execute_pending(self, pending, slots) -> None:
+    def _execute_pending(self, pending, slots, tracker, preempt) -> None:
         if self.processes is None or self.processes <= 1:
-            for i, key, scenario in pending:
-                result = _execute(scenario)
+            for n, (i, key, scenario) in enumerate(pending):
+                if preempt is not None and preempt():
+                    raise CampaignPreempted(
+                        checkpointed=n,
+                        remaining=[s.name for _i, _k, s in pending[n:]])
+                try:
+                    result = _execute(scenario)
+                except Exception as exc:
+                    # Serial execution fails fast: everything before
+                    # this scenario is already checkpointed.
+                    raise CampaignError([(scenario.name, exc)],
+                                        checkpointed=n) from exc
                 self.store.put(scenario, result, key)
                 slots[i] = result
+                tracker.tick(result, cached=False)
             return
         from concurrent.futures import ProcessPoolExecutor, as_completed
 
         workers = min(self.processes, len(pending))
-        first_exc: BaseException | None = None
+        failures: list[tuple[str, BaseException]] = []
+        checkpointed = 0
+        preempted = False
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {pool.submit(_execute, scenario): (i, key, scenario)
                        for i, key, scenario in pending}
             for future in as_completed(futures):
+                if future.cancelled():
+                    continue
                 i, key, scenario = futures[future]
                 try:
                     result = future.result()
@@ -114,12 +277,27 @@ class CampaignRunner(SweepRunner):
                     # Keep draining: sibling scenarios that completed
                     # must still be checkpointed, or one failure would
                     # throw away every other worker's finished result.
-                    if first_exc is None:
-                        first_exc = exc
+                    failures.append((scenario.name, exc))
                     continue
                 # Checkpoint from the parent as each worker finishes,
                 # so an interrupt mid-sweep keeps completed scenarios.
                 self.store.put(scenario, result, key)
                 slots[i] = result
-        if first_exc is not None:
-            raise first_exc
+                checkpointed += 1
+                tracker.tick(result, cached=False)
+                if not preempted and preempt is not None and preempt():
+                    # Stop feeding the pool; in-flight futures keep
+                    # running and are drained/checkpointed above.
+                    preempted = True
+                    for f in futures:
+                        f.cancel()
+        if preempted:
+            remaining = [s.name for i, _k, s in pending
+                         if slots[i] is None
+                         and s.name not in [n for n, _ in failures]]
+            raise CampaignPreempted(checkpointed=checkpointed,
+                                    remaining=remaining + [
+                                        n for n, _ in failures])
+        if failures:
+            raise CampaignError(failures,
+                                checkpointed=checkpointed) from failures[0][1]

@@ -12,15 +12,18 @@ partition a campaign).  Results are stored one file pair per key:
 .. code-block:: text
 
     <cache root>/
-        index.json              derived metadata (rebuildable)
+        index.jsonl             append-only journal (rebuildable)
         objects/<key>.json      scenario echo + encoded value + timings
         objects/<key>.npz       NumPy array payloads (only if any)
         reports/<name>.txt      rendered experiment reports (CLI)
 
-The object files are the source of truth; ``index.json`` is a
-convenience view for ``repro cache ls`` and is rebuilt on demand, so a
-campaign interrupted mid-write never corrupts previously stored
-results (all writes are atomic rename).
+The object files are the source of truth; ``index.jsonl`` is a derived
+convenience view for ``repro cache ls``.  Each checkpoint *appends*
+one line to the journal (an O(1) write - checkpoint cost does not grow
+with the store size), and :meth:`ResultStore.entries` compacts the
+journal back to one line per live key.  All object writes are atomic
+renames, so a campaign interrupted mid-write never corrupts previously
+stored results.
 
 Scenarios are only cacheable when they are *deterministic on paper*:
 a scenario that injects entropy (``rng_param``/``seed_param`` with
@@ -29,31 +32,43 @@ is silently treated as uncacheable and simply always executes.
 
 The cache root resolves, in order: explicit argument, the
 ``REPRO_CACHE_DIR`` environment variable, ``~/.cache/repro``.
+
+For many concurrent writer processes (queue workers sharing one
+cache), use :class:`repro.campaign.shard.ShardedResultStore` - the
+same contract over a prefix-sharded layout with per-shard locking.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import time
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterator
-
-import numpy as np
+from typing import Any, Callable, Iterable, Iterator
 
 from repro import __version__
+from repro.campaign.objects import (
+    OBJECT_FORMAT,
+    StoreEntry,
+    atomic_write,
+    delete_object,
+    encode_record,
+    entry_meta,
+    load_result,
+    read_entry,
+    write_object,
+)
 from repro.core.scenario import Scenario, SweepResult
 from repro.core.serialization import (
     UnserializableError,
     callable_spec,
-    from_jsonable,
     stable_hash,
-    to_jsonable,
 )
 
-#: format marker of the per-result object files.
-OBJECT_FORMAT = "repro.result/1"
+__all__ = ["OBJECT_FORMAT", "INDEX_FORMAT", "ResultStore", "StoreEntry",
+           "default_cache_dir", "default_salt"]
+
+#: format marker of the index journal's header line.
+INDEX_FORMAT = "repro.index/2"
 
 
 def default_cache_dir() -> Path:
@@ -69,19 +84,6 @@ def default_salt() -> str:
     return f"repro-{__version__}"
 
 
-@dataclass(frozen=True)
-class StoreEntry:
-    """One stored result, as listed by ``repro cache ls``."""
-
-    key: str
-    name: str
-    fn: str
-    wall_time: float
-    created: float
-    size_bytes: int
-    has_arrays: bool
-
-
 class ResultStore:
     """Content-addressed store of :class:`SweepResult` values.
 
@@ -95,6 +97,11 @@ class ResultStore:
             ``misses`` equals the number of scenarios that had to
             execute, which is what the CLI's ``executed=N`` line and
             the CI cache-hit smoke job report.
+        progress_hook / preempt_hook: optional callables the queue
+            worker attaches; :class:`~repro.campaign.runner.
+            CampaignRunner` picks them up to report per-scenario
+            progress and to honor graceful preemption without every
+            harness having to thread new arguments through.
     """
 
     def __init__(self, root: str | os.PathLike | None = None, *,
@@ -104,8 +111,9 @@ class ResultStore:
         self.salt = salt if salt is not None else default_salt()
         self.hits = 0
         self.misses = 0
-        #: in-memory index entries, loaded lazily on first write.
-        self._index: dict[str, dict] | None = None
+        #: queue-worker hooks (see class docstring).
+        self.progress_hook: Callable[[Any], None] | None = None
+        self.preempt_hook: Callable[[], bool] | None = None
 
     # -- layout -------------------------------------------------------
 
@@ -119,13 +127,18 @@ class ResultStore:
 
     @property
     def index_path(self) -> Path:
-        return self.root / "index.json"
+        return self.root / "index.jsonl"
 
     def _object_path(self, key: str) -> Path:
         return self.objects_dir / f"{key}.json"
 
     def _payload_path(self, key: str) -> Path:
         return self.objects_dir / f"{key}.npz"
+
+    def _object_files(self) -> Iterator[Path]:
+        """Every object record file, in deterministic order."""
+        if self.objects_dir.is_dir():
+            yield from sorted(self.objects_dir.glob("*.json"))
 
     # -- keys ---------------------------------------------------------
 
@@ -169,37 +182,15 @@ class ResultStore:
         miss - i.e. the scenario will have to execute)."""
         if key is None:
             key = self.scenario_key(scenario)
-        result = self._load(key, scenario) if key is not None else None
+        result = None
+        if key is not None:
+            result = load_result(self._object_path(key),
+                                 self._payload_path(key), scenario)
         if result is None:
             self.misses += 1
         else:
             self.hits += 1
         return result
-
-    def _load(self, key: str, scenario: Scenario) -> SweepResult | None:
-        path = self._object_path(key)
-        try:
-            record = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
-        if record.get("format") != OBJECT_FORMAT:
-            return None
-        arrays = None
-        payload = self._payload_path(key)
-        try:
-            if record.get("has_arrays"):
-                with np.load(payload, allow_pickle=False) as npz:
-                    arrays = {name: npz[name] for name in npz.files}
-            value = from_jsonable(record["value"], arrays)
-        except Exception:
-            # Torn write, missing/corrupt payload, or an entry written
-            # against renamed code (stale import path, unpicklable
-            # blob): treat as absent; the scenario re-executes and
-            # overwrites the entry.
-            return None
-        return SweepResult(scenario=scenario, value=value,
-                           wall_time=float(record.get("wall_time", 0.0)),
-                           cached=True)
 
     # -- write path ---------------------------------------------------
 
@@ -214,126 +205,105 @@ class ResultStore:
             key = self.scenario_key(scenario)
         if key is None:
             return None
-        arrays: dict[str, np.ndarray] = {}
         try:
-            record = {
-                "format": OBJECT_FORMAT,
-                "key": key,
-                "salt": self.salt,
-                "scenario": {
-                    "name": scenario.name,
-                    "fn": callable_spec(scenario.fn),
-                    "params": to_jsonable(dict(scenario.params), arrays),
-                    "seed": to_jsonable(scenario.seed, arrays),
-                    "rng_param": scenario.rng_param,
-                    "seed_param": scenario.seed_param,
-                },
-                "value": to_jsonable(result.value, arrays),
-                "wall_time": result.wall_time,
-                "created": time.time(),
-                "has_arrays": bool(arrays),
-            }
+            record, arrays = encode_record(scenario, result, key, self.salt)
         except UnserializableError:
             return None
-        self.objects_dir.mkdir(parents=True, exist_ok=True)
-        if arrays:
-            def write_npz(path: Path) -> None:
-                # A file handle stops savez from appending ".npz" to
-                # the temp name, keeping the atomic rename simple.
-                with open(path, "wb") as fh:
-                    np.savez_compressed(fh, **arrays)
-
-            self._atomic_write(self._payload_path(key), write_npz)
-        self._atomic_write(
-            self._object_path(key),
-            lambda path: path.write_text(json.dumps(record, indent=1)))
+        write_object(self._object_path(key), self._payload_path(key),
+                     record, arrays)
         self._index_add(key, {"name": scenario.name,
                               "fn": record["scenario"]["fn"],
                               "wall_time": result.wall_time,
                               "created": record["created"]})
         return key
 
-    @staticmethod
-    def _atomic_write(path: Path, writer) -> None:
-        tmp = path.with_name(path.name + ".tmp")
-        writer(tmp)
-        os.replace(tmp, path)
+    # -- index journal ------------------------------------------------
+    #
+    # One line per checkpoint, appended - never rewritten - so the
+    # cost of a checkpoint is O(1) regardless of how many results the
+    # store already holds.  entries() compacts the journal (dedup by
+    # key, drop evicted keys) from the object files, which are the
+    # source of truth.
+
+    def _index_add(self, key: str, meta: dict) -> None:
+        line = json.dumps({"key": key, **meta}, sort_keys=True)
+        self.root.mkdir(parents=True, exist_ok=True)
+        header = ""
+        if not self.index_path.exists():
+            header = json.dumps({"format": INDEX_FORMAT,
+                                 "salt": self.salt}) + "\n"
+        with open(self.index_path, "a", encoding="utf-8") as fh:
+            fh.write(header + line + "\n")
+
+    def index_entries(self) -> dict[str, dict]:
+        """Journal view ``{key: meta}`` (last write per key wins);
+        torn or foreign lines are skipped."""
+        out: dict[str, dict] = {}
+        try:
+            text = self.index_path.read_text(encoding="utf-8")
+        except OSError:
+            return out
+        for line in text.splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(record, dict) or "key" not in record:
+                continue
+            meta = dict(record)
+            out[meta.pop("key")] = meta
+        return out
+
+    def _compact_index(self, entries: Iterable[StoreEntry]) -> None:
+        """Rewrite the journal as one line per live entry."""
+        lines = [json.dumps({"format": INDEX_FORMAT, "salt": self.salt})]
+        lines += [json.dumps({"key": e.key, **entry_meta(e)},
+                             sort_keys=True) for e in entries]
+        self.root.mkdir(parents=True, exist_ok=True)
+        atomic_write(self.index_path, lambda path: path.write_text(
+            "\n".join(lines) + "\n", encoding="utf-8"))
 
     # -- maintenance --------------------------------------------------
 
     def entries(self) -> list[StoreEntry]:
-        """All stored results (scanned from the object files)."""
+        """All stored results (scanned from the object files); as a
+        side effect the index journal is compacted to match."""
         out = []
-        if not self.objects_dir.is_dir():
-            return out
-        for path in sorted(self.objects_dir.glob("*.json")):
-            try:
-                record = json.loads(path.read_text())
-            except (OSError, ValueError):
-                continue
-            if record.get("format") != OBJECT_FORMAT:
-                continue
-            key = record.get("key", path.stem)
-            size = path.stat().st_size
-            payload = self._payload_path(key)
-            if payload.exists():
-                size += payload.stat().st_size
-            out.append(StoreEntry(
-                key=key,
-                name=record.get("scenario", {}).get("name", "?"),
-                fn=record.get("scenario", {}).get("fn", "?"),
-                wall_time=float(record.get("wall_time", 0.0)),
-                created=float(record.get("created", 0.0)),
-                size_bytes=size,
-                has_arrays=bool(record.get("has_arrays"))))
+        for path in self._object_files():
+            entry = read_entry(path, self._payload_path(path.stem))
+            if entry is not None:
+                out.append(entry)
+        if self.index_path.exists():
+            self._compact_index(out)
         return out
 
-    def _index_add(self, key: str, meta: dict) -> None:
-        """Incrementally update ``index.json`` (no object-dir rescan:
-        checkpoint cost must not grow with the store size)."""
-        if self._index is None:
-            self._index = self._load_index_entries()
-        self._index[key] = meta
-        index = {"format": "repro.index/1", "salt": self.salt,
-                 "entries": self._index}
-        self.root.mkdir(parents=True, exist_ok=True)
-        self._atomic_write(
-            self.index_path,
-            lambda path: path.write_text(json.dumps(index, indent=1)))
+    def clear(self) -> tuple[int, int]:
+        """Delete all stored results (reports are kept).
 
-    def _load_index_entries(self) -> dict[str, dict]:
-        try:
-            index = json.loads(self.index_path.read_text())
-            entries = index.get("entries", {})
-            if isinstance(entries, dict):
-                return entries
-        except (OSError, ValueError):
-            pass
-        # Missing or corrupt index: rebuild once from the object files.
-        return {e.key: {"name": e.name, "fn": e.fn,
-                        "wall_time": e.wall_time, "created": e.created}
-                for e in self.entries()}
-
-    def clear(self) -> int:
-        """Delete all stored results (reports are kept); returns the
-        number of entries removed."""
+        Returns:
+            ``(entries, bytes)`` - the number of results removed and
+            the total bytes freed (object records, array payloads and
+            the index journal).
+        """
         removed = 0
-        if self.objects_dir.is_dir():
-            for path in self.objects_dir.glob("*.json"):
-                path.unlink(missing_ok=True)
-                removed += 1
-            for path in self.objects_dir.glob("*.npz"):
-                path.unlink(missing_ok=True)
-        self.index_path.unlink(missing_ok=True)
-        self._index = None
-        return removed
+        freed = 0
+        for path in list(self._object_files()):
+            n, b = delete_object(path, self._payload_path(path.stem))
+            removed += n
+            freed += b
+        try:
+            freed += self.index_path.stat().st_size
+            self.index_path.unlink()
+        except OSError:
+            pass
+        return removed, freed
 
     # -- rendered reports (CLI) ---------------------------------------
 
     def save_report(self, name: str, text: str) -> Path:
         self.reports_dir.mkdir(parents=True, exist_ok=True)
         path = self.reports_dir / f"{name}.txt"
-        self._atomic_write(path, lambda p: p.write_text(text))
+        atomic_write(path, lambda p: p.write_text(text))
         return path
 
     def load_reports(self) -> Iterator[tuple[str, str]]:

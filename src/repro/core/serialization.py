@@ -229,6 +229,36 @@ def from_jsonable(obj: Any,
     return {k: from_jsonable(v, arrays) for k, v in obj.items()}
 
 
+def dump_tagged(tag: str, payload: Any, *, indent: int | None = None) -> str:
+    """Encode *payload* as a format-tagged JSON document.
+
+    The campaign queue persists small records (job specs, heartbeats,
+    completion summaries) as single files; tagging them with an
+    explicit format marker makes version skew and foreign files a
+    clean error instead of a silent mis-parse.  The payload goes
+    through :func:`to_jsonable` (arrays inlined), so spec dataclasses
+    round-trip exactly.
+    """
+    return json.dumps({"format": tag, "payload": to_jsonable(payload)},
+                      indent=indent, sort_keys=True)
+
+
+def load_tagged(tag: str, text: str) -> Any:
+    """Inverse of :func:`dump_tagged`.
+
+    Raises:
+        ValueError: the document is not valid JSON or its format
+            marker is not *tag* (torn writes and version skew both
+            land here, so callers need a single except clause).
+    """
+    doc = json.loads(text)
+    if not isinstance(doc, Mapping) or doc.get("format") != tag:
+        found = doc.get("format") if isinstance(doc, Mapping) else None
+        raise ValueError(f"expected a {tag!r} document, found "
+                         f"{found!r}")
+    return from_jsonable(doc["payload"])
+
+
 def canonical_json(value: Any) -> str:
     """Deterministic JSON text of *value* (sorted keys, no whitespace,
     arrays inlined) - the hashing pre-image."""

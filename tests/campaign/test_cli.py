@@ -33,6 +33,114 @@ class TestCacheCommands:
         assert code == 2 and "unknown experiment" in out
 
 
+class TestCacheGcAndMerge:
+    def _fill(self, capsys, cache_dir, *extra):
+        run_cli(capsys, "run", "table2", "--fast",
+                "--cache-dir", str(cache_dir), *extra)
+
+    def test_gc_requires_sharded_store(self, tmp_path, capsys):
+        self._fill(capsys, tmp_path)  # classic layout
+        code, out = run_cli(capsys, "cache", "gc", "--max-bytes", "0",
+                            "--cache-dir", str(tmp_path))
+        assert code == 2 and "sharded" in out
+
+    def test_gc_requires_a_limit(self, tmp_path, capsys):
+        code, out = run_cli(capsys, "cache", "gc",
+                            "--cache-dir", str(tmp_path), "--sharded")
+        assert code == 2 and "--max-bytes" in out
+
+    def test_gc_evicts_and_reports(self, tmp_path, capsys):
+        self._fill(capsys, tmp_path, "--sharded")
+        code, out = run_cli(capsys, "cache", "gc", "--max-bytes", "0",
+                            "--cache-dir", str(tmp_path))
+        assert code == 0 and "evicted 2 stored results" in out
+        code, out = run_cli(capsys, "cache", "ls",
+                            "--cache-dir", str(tmp_path))
+        assert "empty" in out
+
+    def test_merge_unions_another_cache(self, tmp_path, capsys):
+        self._fill(capsys, tmp_path / "src")  # classic source
+        code, out = run_cli(capsys, "cache", "merge",
+                            str(tmp_path / "src"),
+                            "--cache-dir", str(tmp_path / "dst"),
+                            "--sharded")
+        assert code == 0 and "merged 2 entries" in out
+        # the merged store satisfies a re-run outright
+        code, out = run_cli(capsys, "run", "table2", "--fast",
+                            "--cache-dir", str(tmp_path / "dst"))
+        assert code == 0 and "executed=0 cached=2" in out
+
+    def test_merge_needs_sharded_destination(self, tmp_path, capsys):
+        self._fill(capsys, tmp_path / "dst")  # classic destination
+        code, out = run_cli(capsys, "cache", "merge",
+                            str(tmp_path / "src"),
+                            "--cache-dir", str(tmp_path / "dst"))
+        assert code == 2 and "sharded destination" in out
+
+    def test_clear_reports_entries_and_bytes(self, tmp_path, capsys):
+        self._fill(capsys, tmp_path)
+        code, out = run_cli(capsys, "cache", "clear",
+                            "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "removed 2 stored results" in out and "KiB" in out
+
+
+class TestQueueCommands:
+    def _dirs(self, tmp_path):
+        return ("--queue-dir", str(tmp_path / "q"),
+                "--cache-dir", str(tmp_path / "cache"))
+
+    def test_submit_validates_names(self, tmp_path, capsys):
+        code, out = run_cli(capsys, "queue", "submit", "nope",
+                            "--queue-dir", str(tmp_path / "q"))
+        assert code == 2 and "unknown experiment" in out
+
+    def test_submit_status_drain(self, tmp_path, capsys):
+        code, out = run_cli(capsys, "queue", "submit", "table2", "fig6",
+                            "--queue-dir", str(tmp_path / "q"))
+        assert code == 0
+        assert out.count("submitted ") == 2
+        assert "pending=2" in out
+        code, out = run_cli(capsys, "queue", "status",
+                            "--queue-dir", str(tmp_path / "q"))
+        assert code == 0
+        assert "pending: 2" in out
+        assert "[table2]" in out and "[fig6]" in out
+        code, out = run_cli(capsys, "queue", "drain",
+                            "--queue-dir", str(tmp_path / "q"))
+        assert code == 0 and "drained 2 job(s)" in out
+
+    def test_work_runs_submitted_jobs(self, tmp_path, capsys):
+        run_cli(capsys, "queue", "submit", "table2",
+                "--queue-dir", str(tmp_path / "q"))
+        code, out = run_cli(capsys, "queue", "work", "--worker-id", "t",
+                            *self._dirs(tmp_path))
+        assert code == 0
+        assert "done executed=2 cached=0" in out
+        assert "worker t: 1 job(s) (done=1 failed=0 preempted=0)" in out
+        # queue work defaults fresh cache dirs to the sharded flavor
+        assert (tmp_path / "cache" / "shards").is_dir()
+        code, out = run_cli(capsys, "queue", "status",
+                            *("--queue-dir", str(tmp_path / "q")))
+        assert "done: 1" in out and "executed=2" in out
+
+    def test_work_empty_queue(self, tmp_path, capsys):
+        code, out = run_cli(capsys, "queue", "work", "--worker-id", "t",
+                            *self._dirs(tmp_path))
+        assert code == 0 and "0 job(s)" in out
+
+    def test_failed_job_exits_nonzero(self, tmp_path, capsys):
+        from repro.campaign import JobQueue, JobSpec
+
+        # a spec whose experiment only exists job-side: never importable
+        JobQueue(tmp_path / "q").submit(JobSpec(
+            experiment="ghost", modules=("no_such_module",)))
+        code, out = run_cli(capsys, "queue", "work", "--worker-id", "t",
+                            *self._dirs(tmp_path))
+        assert code == 1
+        assert "failed=1" in out and "no_such_module" in out
+
+
 class TestListCommand:
     def test_list_enumerates_registered_experiments(self, capsys):
         from repro.experiments.registry import experiment_names

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.campaign import CampaignReport, CampaignRunner, ResultStore
+from repro.campaign import (
+    CampaignError,
+    CampaignPreempted,
+    CampaignReport,
+    CampaignRunner,
+    ResultStore,
+)
 from repro.core.scenario import Scenario, SweepRunner
 from repro.uwb.modulation import random_bits
 
@@ -95,7 +101,7 @@ class TestFailureCheckpointing:
         Serial execution fails fast, so only earlier scenarios are
         checkpointed; the pool drains every completed future."""
         store = ResultStore(tmp_path, salt="s")
-        with pytest.raises(RuntimeError, match="boom"):
+        with pytest.raises(CampaignError, match="boom"):
             self.build(store, fail_first=True, processes=processes).run()
         resumed = self.build(store, fail_first=False,
                              processes=processes).run()
@@ -103,6 +109,113 @@ class TestFailureCheckpointing:
             # the pool finished 'good' before the failure surfaced
             assert resumed.cached == 1 and resumed.executed == 1
         assert resumed.by_name() == {"bad": 2, "good": 4}
+
+    @pytest.mark.parametrize("processes", [None, 2])
+    def test_error_names_scenario_and_checkpoints(self, tmp_path,
+                                                  processes):
+        """CampaignError carries context: which scenario failed, the
+        original exception as __cause__, and how many sibling results
+        were still checkpointed."""
+        store = ResultStore(tmp_path, salt="s")
+        with pytest.raises(CampaignError) as info:
+            self.build(store, fail_first=True, processes=processes).run()
+        exc = info.value
+        assert [name for name, _ in exc.failures] == ["bad"]
+        assert isinstance(exc.failures[0][1], RuntimeError)
+        assert isinstance(exc.__cause__, RuntimeError)
+        assert "bad" in str(exc) and "checkpointed" in str(exc)
+        if processes:
+            # the pool drained 'good' before raising
+            assert exc.checkpointed == 1
+        # the message count matches what is really in the store
+        assert len(store.entries()) == exc.checkpointed
+
+    def test_plain_runtime_error_still_catchable(self, tmp_path):
+        """CampaignError subclasses RuntimeError, so pre-existing
+        harness code catching RuntimeError keeps working."""
+        store = ResultStore(tmp_path, salt="s")
+        with pytest.raises(RuntimeError, match="boom"):
+            self.build(store, fail_first=True).run()
+
+
+class TestProgressAndPreemption:
+    def test_progress_reported_per_scenario(self, tmp_path):
+        store = ResultStore(tmp_path, salt="s")
+        ticks = []
+        store.progress_hook = ticks.append
+        build_runner(store).run()
+        assert [t.done for t in ticks] == [1, 2, 3]
+        assert all(t.total == 3 for t in ticks)
+        assert ticks[-1].executed == 3 and ticks[-1].cached == 0
+        # the wall-time history yields an ETA from the first sample on
+        assert all(t.eta_seconds is not None for t in ticks)
+        assert ticks[-1].eta_seconds == 0.0
+        assert ticks[0].last_name == "bits4"
+
+    def test_cache_hits_feed_the_eta_history(self, tmp_path):
+        store = ResultStore(tmp_path, salt="s")
+        build_runner(store).run()
+        ticks = []
+        store.progress_hook = ticks.append
+        build_runner(store).run()
+        assert [t.cached for t in ticks] == [1, 2, 3]
+        # hits carry the original run's wall time into the estimate
+        assert all(t.eta_seconds is not None for t in ticks)
+
+    def test_explicit_progress_argument_wins(self, tmp_path):
+        store = ResultStore(tmp_path, salt="s")
+        store.progress_hook = lambda p: (_ for _ in ()).throw(
+            AssertionError("store hook must not fire"))
+        ticks = []
+        runner = CampaignRunner(store=store, progress=ticks.append)
+        runner.add(Scenario(name="bits4", fn=random_bits, seed=5,
+                            rng_param="rng", params={"n": 4}))
+        runner.run()
+        assert len(ticks) == 1
+
+    def test_preempt_serial_checkpoints_and_requeues(self, tmp_path):
+        store = ResultStore(tmp_path, salt="s")
+        fired = []
+
+        def preempt():
+            # allow exactly one scenario through, then preempt
+            return len(fired) >= 1
+
+        store.progress_hook = fired.append
+        store.preempt_hook = preempt
+        with pytest.raises(CampaignPreempted) as info:
+            build_runner(store).run()
+        assert info.value.checkpointed == 1
+        assert info.value.remaining == ["bits8", "bits16"]
+        assert len(store.entries()) == 1
+        # resuming with hooks removed completes only the remainder
+        store.progress_hook = store.preempt_hook = None
+        resumed = build_runner(store).run()
+        assert (resumed.executed, resumed.cached) == (2, 1)
+
+    def test_preempt_parallel_drains_in_flight(self, tmp_path):
+        store = ResultStore(tmp_path, salt="s")
+        done = []
+        store.progress_hook = done.append
+        store.preempt_hook = lambda: len(done) >= 1
+        with pytest.raises(CampaignPreempted) as info:
+            build_runner(store, processes=2).run()
+        # everything the pool completed was checkpointed before raising
+        assert info.value.checkpointed == len(store.entries())
+        assert info.value.checkpointed >= 1
+        assert set(info.value.remaining) <= {"bits4", "bits8", "bits16"}
+        store.progress_hook = store.preempt_hook = None
+        resumed = build_runner(store).run()
+        assert resumed.cached == info.value.checkpointed
+        assert resumed.executed == 3 - info.value.checkpointed
+
+    def test_preempt_before_anything_runs(self, tmp_path):
+        store = ResultStore(tmp_path, salt="s")
+        store.preempt_hook = lambda: True
+        with pytest.raises(CampaignPreempted) as info:
+            build_runner(store).run()
+        assert info.value.checkpointed == 0
+        assert len(info.value.remaining) == 3
 
 
 class TestKeyParams:

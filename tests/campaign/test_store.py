@@ -111,9 +111,16 @@ class TestRoundTrip:
         entries = store.entries()
         assert len(entries) == 2
         assert all(e.has_arrays for e in entries)
-        assert store.clear() == 2
+        # clear() accounts for every byte it frees: the object
+        # records, the npz payloads and the index journal.
+        expected = sum(e.size_bytes for e in entries) \
+            + store.index_path.stat().st_size
+        removed, freed = store.clear()
+        assert removed == 2
+        assert freed == expected
         assert store.entries() == []
         assert not store.index_path.exists()
+        assert store.clear() == (0, 0)
 
 
 class TestRobustness:
@@ -144,30 +151,62 @@ class TestRobustness:
         path.write_text(json.dumps(record))
         assert store.get(sc) is None
 
-    def test_index_written_incrementally(self, tmp_path):
+    def test_index_journal_appends_only(self, tmp_path):
+        """A checkpoint appends one journal line - it never rewrites
+        what is already there, so its cost cannot grow with the store
+        size (the O(1)-checkpoint contract)."""
+        store = ResultStore(tmp_path, salt="s")
+        previous = ""
+        for n in (4, 8, 16, 32):
+            sc = bits_scenario(n=n)
+            store.put(sc, _execute(sc))
+            text = store.index_path.read_text()
+            assert text.startswith(previous)  # strict append
+            previous = text
+        lines = previous.splitlines()
+        assert len(lines) == 5  # header + one line per checkpoint
+        assert json.loads(lines[0])["format"] == "repro.index/2"
+        assert len(store.index_entries()) == 4
+
+    def test_index_extended_across_instances(self, tmp_path):
         store = ResultStore(tmp_path, salt="s")
         for n in (4, 8):
             sc = bits_scenario(n=n)
             store.put(sc, _execute(sc))
-        index = json.loads(store.index_path.read_text())
-        assert len(index["entries"]) == 2
-        # a fresh store instance keeps extending the on-disk index
+        # a fresh store instance keeps extending the on-disk journal
         other = ResultStore(tmp_path, salt="s")
         sc = bits_scenario(n=16)
         other.put(sc, _execute(sc))
-        index = json.loads(store.index_path.read_text())
-        assert len(index["entries"]) == 3
+        assert len(store.index_entries()) == 3
 
-    def test_corrupt_index_rebuilt_on_write(self, tmp_path):
+    def test_corrupt_index_lines_skipped_and_compacted(self, tmp_path):
         store = ResultStore(tmp_path, salt="s")
         sc = bits_scenario(n=4)
         store.put(sc, _execute(sc))
-        store.index_path.write_text("{ nope")
+        with open(store.index_path, "a") as fh:
+            fh.write("{ torn li")  # no trailing newline: a torn write
         other = ResultStore(tmp_path, salt="s")
         sc2 = bits_scenario(n=8)
         other.put(sc2, _execute(sc2))
-        index = json.loads(store.index_path.read_text())
-        assert len(index["entries"]) == 2
+        # the reader skips garbage (and the line it damaged) ...
+        assert len(store.index_entries()) >= 1
+        # ... and entries() compacts the journal back to pristine
+        entries = store.entries()
+        assert len(entries) == 2
+        assert len(store.index_entries()) == 2
+        for line in store.index_path.read_text().splitlines():
+            json.loads(line)
+
+    def test_entries_compacts_duplicate_checkpoints(self, tmp_path):
+        """Re-putting a key appends another journal line; compaction
+        folds them back to one line per live object."""
+        store = ResultStore(tmp_path, salt="s")
+        sc = bits_scenario(n=4)
+        for _ in range(3):
+            store.put(sc, _execute(sc))
+        assert len(store.index_path.read_text().splitlines()) == 4
+        assert len(store.entries()) == 1
+        assert len(store.index_path.read_text().splitlines()) == 2
 
     def test_reexecution_repairs_entry(self, tmp_path):
         store = ResultStore(tmp_path, salt="s")
