@@ -79,9 +79,29 @@ def committed_baseline(name: str) -> dict | None:
     return record
 
 
+def _stage_attribution(baseline: dict,
+                       stage_walls: dict | None) -> str:
+    """Name the per-stage breakdown's biggest regression, so a guard
+    failure says *which stage* slowed down, not just that the total
+    did.  Empty when either side lacks a breakdown or nothing grew."""
+    base_stages = baseline.get("stage_walls") or {}
+    if not stage_walls or not base_stages:
+        return ""
+    deltas = {name: float(wall) - float(base_stages.get(name, 0.0))
+              for name, wall in stage_walls.items()}
+    worst = max(deltas, key=lambda n: deltas[n])
+    if deltas[worst] <= 0:
+        return ""
+    return (f"; biggest stage regression: {worst} "
+            f"{float(base_stages.get(worst, 0.0)):.3f}s -> "
+            f"{float(stage_walls[worst]):.3f}s "
+            f"(+{deltas[worst]:.3f}s)")
+
+
 def assert_no_wall_regression(name: str, wall: float,
                               rel: float = 0.10,
-                              abs_slack: float = 0.25) -> None:
+                              abs_slack: float = 0.25,
+                              stage_walls: dict | None = None) -> None:
     """Fail when *wall* regresses more than *rel* against the
     committed comparable baseline.
 
@@ -90,6 +110,10 @@ def assert_no_wall_regression(name: str, wall: float,
     budget is ``max(base * (1 + rel), base + abs_slack)`` - the
     relative band governs once the baseline clears
     ``abs_slack / rel`` seconds, the absolute floor below that.
+
+    ``stage_walls`` (this run's per-stage breakdown, from
+    ``repro.obs.trace``) is compared against the baseline's to name
+    the stage that regressed most in the failure message.
     """
     baseline = committed_baseline(name)
     if baseline is None:
@@ -100,14 +124,17 @@ def assert_no_wall_regression(name: str, wall: float,
     budget = max(base_wall * (1.0 + rel), base_wall + abs_slack)
     assert wall <= budget, (
         f"{name} wall-clock regressed: {wall:.3f}s against the "
-        f"committed baseline {base_wall:.3f}s (budget {budget:.3f}s); "
+        f"committed baseline {base_wall:.3f}s (budget {budget:.3f}s)"
+        f"{_stage_attribution(baseline, stage_walls)}; "
         "if the slowdown is intended, regenerate the artifact with "
         "REPRO_BENCH_DIR=. and commit it")
 
 
 def assert_no_throughput_regression(name: str, points_per_second: float,
                                     rel: float = 0.10,
-                                    abs_slack: float = 0.25) -> None:
+                                    abs_slack: float = 0.25,
+                                    stage_walls: dict | None = None
+                                    ) -> None:
     """Fail when *points_per_second* regresses more than *rel* against
     the committed comparable baseline.
 
@@ -130,7 +157,9 @@ def assert_no_throughput_regression(name: str, points_per_second: float,
     assert points_per_second >= floor, (
         f"{name} throughput regressed: {points_per_second:.2f} "
         f"points/s against the committed baseline {base_pps:.2f} "
-        f"points/s (floor {floor:.2f}); if the slowdown is intended, "
+        f"points/s (floor {floor:.2f})"
+        f"{_stage_attribution(baseline, stage_walls)}; "
+        "if the slowdown is intended, "
         "regenerate the artifact with REPRO_BENCH_DIR=. and commit it")
 
 

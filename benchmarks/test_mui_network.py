@@ -13,6 +13,7 @@ from benchmarks.conftest import (
     write_bench_artifact,
 )
 from repro.experiments import run_mui
+from repro.obs import trace
 
 
 def test_mui_network_ber(benchmark, report_sink):
@@ -35,10 +36,18 @@ def test_mui_network_ber(benchmark, report_sink):
     points = (sum(len(c.ber) for c in result.curves.values())
               + len(result.near_far))
     pps = points / wall if wall > 0 else 0.0
+    # Stage attribution from a separate traced run outside the timed
+    # region (see the fig6 benchmark).
+    with trace.collect("mui") as root:
+        run_mui(quick=quick, seed=11)
+    stage_walls = {name: round(w, 4)
+                   for name, w in sorted(root.leaf_walls().items())}
     write_bench_artifact("mui", {
         "wall_seconds": round(wall, 4),
         "points": points,
         "points_per_second": round(pps, 2),
+        "stage_walls": stage_walls,
+        "traced_wall_seconds": round(root.total_s, 4),
         "ebn0_db": list(result.ebn0_grid),
         "counts": list(result.counts),
         "sir_db": list(result.sir_grid),
@@ -55,4 +64,5 @@ def test_mui_network_ber(benchmark, report_sink):
     closest = float(result.near_far[distances[0]].ber[0])
     farthest = float(result.near_far[distances[-1]].ber[0])
     assert closest > farthest
-    assert_no_throughput_regression("mui", pps)
+    assert_no_throughput_regression("mui", pps,
+                                    stage_walls=stage_walls)

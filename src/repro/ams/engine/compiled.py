@@ -37,8 +37,18 @@ import numpy as np
 
 from repro.ams.engine.base import ExecutionEngine
 from repro.ams.engine.reference import ReferenceEngine
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 _FLOAT64 = np.dtype(np.float64)
+
+# Always-on engine health counters (see EXPERIMENTS.md, Observability):
+# how often the compiled path ran, how often it had to delegate to the
+# lock-step reference loop, and how much work the segment loop did.
+_RUNS = _metrics.REGISTRY.counter("ams.compiled.runs")
+_FALLBACKS = _metrics.REGISTRY.counter("ams.compiled.fallbacks")
+_SEGMENTS = _metrics.REGISTRY.counter("ams.compiled.segments")
+_STEPS = _metrics.REGISTRY.counter("ams.compiled.steps")
 
 
 class CompiledEngine(ExecutionEngine):
@@ -131,9 +141,12 @@ class CompiledEngine(ExecutionEngine):
     # execution
     # ------------------------------------------------------------------
     def run(self, sim, t_stop: float) -> None:
+        _RUNS.inc()
         self.fallback_reason = self.explain(sim)
         if self.fallback_reason is not None:
-            self._reference.run(sim, t_stop)
+            _FALLBACKS.inc()
+            with _trace.span("ams.reference.run"):
+                self._reference.run(sim, t_stop)
             return
 
         started = _time.perf_counter()
@@ -181,8 +194,15 @@ class CompiledEngine(ExecutionEngine):
                     if n > total - done:
                         n = total - done
                 t0 = float(grid[done])
-                arrays = run_segment(plan, const_slots, nslots,
-                                     t0, dt, n)
+                _SEGMENTS.inc()
+                _STEPS.inc(n)
+                if _trace.ENABLED:
+                    with _trace.span("ams.compiled.segment"):
+                        arrays = run_segment(plan, const_slots, nslots,
+                                             t0, dt, n)
+                else:
+                    arrays = run_segment(plan, const_slots, nslots,
+                                         t0, dt, n)
                 done += n
                 # Events and hooks at the boundary observe the counter
                 # the way the reference loop exposes it: incremented

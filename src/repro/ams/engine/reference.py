@@ -5,6 +5,10 @@ from __future__ import annotations
 import time as _time
 
 from repro.ams.engine.base import ExecutionEngine
+from repro.obs import metrics as _metrics
+
+_RUNS = _metrics.REGISTRY.counter("ams.reference.runs")
+_STEPS = _metrics.REGISTRY.counter("ams.reference.steps")
 
 
 class ReferenceEngine(ExecutionEngine):
@@ -21,7 +25,9 @@ class ReferenceEngine(ExecutionEngine):
     name = "reference"
 
     def run(self, sim, t_stop: float) -> None:
+        _RUNS.inc()
         started = _time.perf_counter()
+        steps_before = sim.steps
         dt = sim.dt
         blocks = sim.blocks
         hooks = sim._step_hooks
@@ -34,4 +40,5 @@ class ReferenceEngine(ExecutionEngine):
             for hook in hooks:
                 hook(t_new)
             sim.steps += 1
+        _STEPS.inc(sim.steps - steps_before)
         sim.cpu_time += _time.perf_counter() - started

@@ -20,6 +20,8 @@ runs are cached, resumable and scriptable:
     python -m repro cache gc --max-bytes N   # evict oldest (sharded)
     python -m repro cache merge SRC          # union another cache in
     python -m repro report                   # re-print saved reports
+    python -m repro trace fig6 --fast        # span tree of one run
+    python -m repro stats                    # aggregate store/queue stats
 
 Experiments self-register via the ``@experiment`` decorator in
 :mod:`repro.experiments.registry`; adding a harness module makes it
@@ -188,6 +190,28 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("experiments", nargs="*", metavar="experiment",
                           help="limit to these experiments (default: all)")
     _add_cache_flags(report_p)
+
+    trace_p = sub.add_parser(
+        "trace", help="run one experiment with hierarchical tracing "
+                      "and print its span tree (repro.obs)")
+    trace_p.add_argument("experiment", metavar="experiment",
+                         help="registered experiment name (see "
+                              "`repro run --list`)")
+    trace_p.add_argument("--format", choices=("text", "json"),
+                         default="text",
+                         help="span-tree format (json round-trips "
+                              "through repro.obs.export.TraceReport)")
+    _add_budget_flags(trace_p)
+
+    stats_p = sub.add_parser(
+        "stats", help="aggregate metrics over a result store and/or "
+                      "job queue directory")
+    stats_p.add_argument("--format", choices=("text", "json"),
+                         default="text",
+                         help="output format (json is a tagged "
+                              "repro.stats/1 document)")
+    _add_cache_flags(stats_p)
+    _add_queue_flags(stats_p)
     return parser
 
 
@@ -411,6 +435,7 @@ def _queue_status(queue) -> int:
         print(f"{state}: {counts[state]}")
         for job_id, spec in queue.jobs(state):
             line = f"  {job_id} [{spec.experiment}]"
+            stages = None
             if state == "claimed":
                 beat = queue.read_heartbeat(job_id)
                 if beat is not None:
@@ -418,13 +443,19 @@ def _queue_status(queue) -> int:
                     if beat.get("total"):
                         line += (f" done={beat.get('done', 0)}"
                                  f"/{beat.get('total')}")
+                    # No wall-time history yet (or a single sample):
+                    # the tracker reports None and we show "--" rather
+                    # than a nonsense projection.
                     eta = beat.get("eta_seconds")
-                    if eta is not None:
-                        line += f" eta={eta:.1f}s"
+                    line += (f" eta={eta:.1f}s" if eta is not None
+                             else " eta=--")
                     line += f" age={now - beat.get('time', now):.1f}s"
+                    stages = beat.get("stages")
                 else:
                     line += " (no heartbeat yet)"
             print(line)
+            if stages:
+                print("    stages: " + _format_stages(stages))
     # concluded jobs carry outcome records, not specs
     for state in ("done", "failed"):
         print(f"{state}: {counts[state]}")
@@ -482,12 +513,21 @@ def _queue_work(queue, args: argparse.Namespace, work_loop) -> int:
     return 1 if "failed" in states else 0
 
 
+def _format_stages(stages: dict) -> str:
+    """``name=wall`` pairs, biggest wall first (heartbeat/status view)."""
+    ordered = sorted(stages.items(), key=lambda kv: -float(kv[1]))
+    return " ".join(f"{name}={float(wall):.3f}s"
+                    for name, wall in ordered)
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.obs.export import format_bytes
+
     store = _make_store(args)
     if args.cache_command == "clear":
         removed, freed = store.clear()
         print(f"removed {removed} stored results "
-              f"({freed / 1024:.1f} KiB) from {store.root}")
+              f"({format_bytes(freed)}) from {store.root}")
         return 0
     if args.cache_command == "gc":
         return _cache_gc(store, args)
@@ -505,13 +545,14 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"{e.key[:12] + '..':<14s} {e.name:<28.28s} "
               f"{e.wall_time:>8.3f}s {e.size_bytes / 1024:>8.1f}K"
               f"  {e.fn}")
-    print(f"{len(entries)} results, {total / 1024:.1f} KiB total, "
+    print(f"{len(entries)} results, {format_bytes(total)} total, "
           f"root {store.root}")
     return 0
 
 
 def _cache_gc(store, args: argparse.Namespace) -> int:
     from repro.campaign.shard import ShardedResultStore
+    from repro.obs.export import format_bytes
 
     if not isinstance(store, ShardedResultStore):
         print(f"cache gc needs the sharded store; {store.root} holds "
@@ -524,7 +565,7 @@ def _cache_gc(store, args: argparse.Namespace) -> int:
     evicted, freed = store.gc(max_bytes=args.max_bytes,
                               max_age=args.max_age)
     print(f"evicted {evicted} stored results "
-          f"({freed / 1024:.1f} KiB) from {store.root}")
+          f"({format_bytes(freed)}) from {store.root}")
     return 0
 
 
@@ -570,6 +611,131 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: format marker of the ``repro stats --format json`` document.
+STATS_FORMAT = "repro.stats/1"
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace <experiment>``: run once, uncached and traced,
+    and print the hierarchical span tree (or its JSON document)."""
+    experiments = _registry()
+    if args.experiment not in experiments:
+        print(f"unknown experiment {args.experiment!r} "
+              f"(choose from {', '.join(experiments)})")
+        return 2
+    from repro.experiments.registry import ExperimentContext
+    from repro.obs import metrics, trace
+    from repro.obs.export import TraceReport, render_trace
+
+    # store=None: a trace must observe real execution, not cache hits.
+    ctx = ExperimentContext(full=args.full, processes=args.processes,
+                            seed=args.seed, store=None,
+                            chunk_bits=args.chunk_bits,
+                            batch_points=args.batch_points)
+    metrics.REGISTRY.reset()
+    with trace.collect(args.experiment) as root:
+        text = experiments[args.experiment].run(ctx)
+    report = TraceReport.from_run(args.experiment, root,
+                                  metrics.REGISTRY.snapshot())
+    if args.format == "json":
+        print(report.to_json())
+        return 0
+    print(text)
+    print()
+    print(render_trace(root, title=f"trace: {args.experiment}"))
+    if report.metrics.counters:
+        print("counters:")
+        for name, value in report.metrics.counters.items():
+            print(f"  {name:<36s} {value}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats``: aggregate store contents and queue outcomes
+    into one metrics view (text or a tagged JSON document)."""
+    from repro.campaign.queue import JobQueue, STATES
+    from repro.core.serialization import dump_tagged
+    from repro.obs.export import format_bytes
+
+    store = _make_store(args)
+    queue = JobQueue(args.queue_dir)
+
+    entries = store.entries()
+    by_fn: dict[str, dict] = {}
+    total_bytes = 0
+    total_wall = 0.0
+    for e in entries:
+        total_bytes += e.size_bytes
+        total_wall += e.wall_time
+        agg = by_fn.setdefault(e.fn, {"results": 0, "bytes": 0,
+                                      "wall_s": 0.0})
+        agg["results"] += 1
+        agg["bytes"] += e.size_bytes
+        agg["wall_s"] += e.wall_time
+
+    counts = queue.counts()
+    stage_totals: dict[str, float] = {}
+    jobs_wall = 0.0
+    jobs_executed = 0
+    jobs_cached = 0
+    for state in ("done", "failed"):
+        for job_id in queue.job_ids(state):
+            outcome = queue.outcome(job_id) or {}
+            jobs_wall += float(outcome.get("wall", 0.0))
+            jobs_executed += int(outcome.get("executed", 0))
+            jobs_cached += int(outcome.get("cached", 0))
+            for name, wall in (outcome.get("stages") or {}).items():
+                stage_totals[name] = (stage_totals.get(name, 0.0)
+                                      + float(wall))
+    workers = []
+    for job_id in queue.job_ids("claimed"):
+        beat = queue.read_heartbeat(job_id) or {}
+        workers.append({
+            "job_id": job_id,
+            "worker": beat.get("worker", "?"),
+            "done": beat.get("done", 0),
+            "total": beat.get("total", 0),
+            "eta_seconds": beat.get("eta_seconds"),
+            "stages": beat.get("stages") or {},
+        })
+
+    payload = {
+        "store": {"root": str(store.root), "results": len(entries),
+                  "bytes": total_bytes, "wall_s": total_wall,
+                  "by_fn": by_fn},
+        "queue": {"root": str(queue.root), "counts": counts,
+                  "executed": jobs_executed, "cached": jobs_cached,
+                  "wall_s": jobs_wall, "stages": stage_totals,
+                  "workers": workers},
+    }
+    if args.format == "json":
+        print(dump_tagged(STATS_FORMAT, payload, indent=2))
+        return 0
+    print(f"store at {store.root}: {len(entries)} results, "
+          f"{format_bytes(total_bytes)}, {total_wall:.3f}s recorded "
+          "wall")
+    for fn, agg in sorted(by_fn.items(),
+                          key=lambda kv: -kv[1]["wall_s"]):
+        print(f"  {fn:<44s} {agg['results']:>4d} results "
+              f"{format_bytes(agg['bytes']):>10s} "
+              f"{agg['wall_s']:>9.3f}s")
+    print(f"queue at {queue.root}: "
+          + " ".join(f"{s}={counts[s]}" for s in STATES)
+          + f" executed={jobs_executed} cached={jobs_cached} "
+            f"wall={jobs_wall:.3f}s")
+    if stage_totals:
+        print("  stages: " + _format_stages(stage_totals))
+    for w in workers:
+        eta = w["eta_seconds"]
+        line = (f"  worker {w['worker']} [{w['job_id']}]: "
+                f"done={w['done']}/{w['total']} "
+                + (f"eta={eta:.1f}s" if eta is not None else "eta=--"))
+        print(line)
+        if w["stages"]:
+            print("    stages: " + _format_stages(w["stages"]))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -583,6 +749,10 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_cache(args)
         if args.command == "report":
             return cmd_report(args)
+        if args.command == "trace":
+            return cmd_trace(args)
+        if args.command == "stats":
+            return cmd_stats(args)
     except BrokenPipeError:
         # Output piped into a pager/head that exited early.
         return 0

@@ -54,6 +54,8 @@ from repro.campaign.shard import ShardedResultStore, is_sharded_layout
 from repro.campaign.store import ResultStore, default_cache_dir
 from repro.campaign.objects import atomic_write
 from repro.core.serialization import dump_tagged, load_tagged
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 __all__ = ["JOB_FORMAT", "HEARTBEAT_FORMAT", "OUTCOME_FORMAT",
            "JobQueue", "JobSpec", "default_queue_dir", "open_store",
@@ -284,6 +286,11 @@ class JobQueue:
                            cached=progress.cached,
                            eta_seconds=progress.eta_seconds,
                            last_name=progress.last_name)
+            if progress.stage_walls:
+                payload["stages"] = dict(progress.stage_walls)
+        counters = _metrics.REGISTRY.counter_values()
+        if counters:
+            payload["counters"] = counters
         self.heartbeats_dir.mkdir(parents=True, exist_ok=True)
         atomic_write(self.heartbeats_dir / f"{job_id}.json", lambda path:
                      path.write_text(dump_tagged(HEARTBEAT_FORMAT,
@@ -371,6 +378,7 @@ def run_job(queue: JobQueue, job_id: str, spec: JobSpec,
     store.hits = store.misses = 0
     outcome: dict[str, Any] = {"experiment": spec.experiment,
                                "worker": worker, "job_id": job_id}
+    troot = None
     start = time.perf_counter()
     try:
         _import_job_modules(spec)
@@ -379,27 +387,42 @@ def run_job(queue: JobQueue, job_id: str, spec: JobSpec,
                                 seed=spec.seed, store=store,
                                 chunk_bits=spec.chunk_bits,
                                 batch_points=spec.batch_points)
-        text = experiment.run(ctx)
+        # Each job runs traced into a fresh tree with fresh metrics:
+        # the progress hooks above then carry live per-stage walls
+        # into the heartbeat file, and the outcome records the final
+        # breakdown for `repro stats`.
+        _metrics.REGISTRY.reset()
+        with _trace.collect(f"job:{spec.experiment}") as troot:
+            text = experiment.run(ctx)
     except CampaignPreempted as exc:
         outcome.update(state="preempted", executed=store.misses,
                        cached=store.hits, requeued=len(exc.remaining),
-                       wall=time.perf_counter() - start)
+                       wall=time.perf_counter() - start,
+                       stages=_job_stages(troot))
         queue.requeue(job_id)
         return outcome
     except Exception as exc:
         outcome.update(state="failed", error=f"{type(exc).__name__}: {exc}",
                        executed=store.misses, cached=store.hits,
                        wall=time.perf_counter() - start,
-                       finished=time.time())
+                       finished=time.time(), stages=_job_stages(troot))
         queue.fail(job_id, outcome)
         return outcome
     finally:
         store.progress_hook = None
     store.save_report(spec.experiment, text)
     outcome.update(state="done", executed=store.misses, cached=store.hits,
-                   wall=time.perf_counter() - start, finished=time.time())
+                   wall=time.perf_counter() - start, finished=time.time(),
+                   stages=_job_stages(troot),
+                   counters=_metrics.REGISTRY.counter_values())
     queue.finish(job_id, outcome)
     return outcome
+
+
+def _job_stages(troot) -> dict[str, float]:
+    """Final per-stage wall breakdown of a traced job (empty when the
+    job died before tracing started)."""
+    return dict(troot.leaf_walls()) if troot is not None else {}
 
 
 def _format_outcome(job_id: str, outcome: dict) -> str:

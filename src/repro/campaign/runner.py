@@ -37,6 +37,7 @@ scenario(s) and says how many sibling results were still checkpointed
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -48,6 +49,10 @@ from repro.core.scenario import (
     _execute,
 )
 from repro.campaign.store import ResultStore
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+_SCENARIO_WALL = _metrics.REGISTRY.histogram("campaign.scenario.wall_s")
 
 
 class CampaignError(RuntimeError):
@@ -98,9 +103,15 @@ class CampaignProgress:
         executed / cached: breakdown of ``done``.
         eta_seconds: projected remaining wall time from the mean of
             the per-scenario wall-time history (cache hits contribute
-            their original run's time); ``None`` until at least one
-            sample exists.
+            their original run's time); ``None`` until at least two
+            samples exist (a single sample - often a cache hit or an
+            unrepresentative first scenario - projects nonsense).
         last_name: the scenario that just completed.
+        stage_walls: cumulative per-stage wall breakdown
+            (:func:`repro.obs.trace.stage_summary`) when tracing is
+            enabled in the running process; ``None`` otherwise.  The
+            queue worker forwards it into the heartbeat file so
+            ``repro queue status`` can show live stage breakdowns.
     """
 
     done: int
@@ -109,6 +120,7 @@ class CampaignProgress:
     cached: int
     eta_seconds: float | None
     last_name: str | None = None
+    stage_walls: dict[str, float] | None = None
 
     @property
     def remaining(self) -> int:
@@ -154,7 +166,10 @@ class _ProgressTracker:
         return self.executed + self.cached
 
     def eta_seconds(self) -> float | None:
-        if not self._samples:
+        # A single sample is no basis for a projection (it is often a
+        # cache hit, or the campaign's one unrepresentative warm-up
+        # scenario) - report "unknown" until the mean means something.
+        if len(self._samples) < 2:
             return None
         mean = sum(self._samples) / len(self._samples)
         return mean * (self.total - self.done)
@@ -165,12 +180,25 @@ class _ProgressTracker:
         else:
             self.executed += 1
         self._samples.append(result.wall_time)
+        _SCENARIO_WALL.observe(result.wall_time)
         if self.hook is not None:
-            self.hook(CampaignProgress(
+            stage_walls = (dict(_trace.stage_summary())
+                           if _trace.ENABLED else None)
+            progress = CampaignProgress(
                 done=self.done, total=self.total,
                 executed=self.executed, cached=self.cached,
                 eta_seconds=self.eta_seconds(),
-                last_name=result.name))
+                last_name=result.name,
+                stage_walls=stage_walls)
+            try:
+                self.hook(progress)
+            except Exception as exc:
+                # A broken observer must not abort the campaign: the
+                # results are valid regardless of who is watching.
+                warnings.warn(
+                    f"campaign progress hook raised {exc!r}; "
+                    "continuing without aborting the campaign",
+                    RuntimeWarning, stacklevel=2)
 
 
 class CampaignRunner(SweepRunner):
@@ -248,7 +276,11 @@ class CampaignRunner(SweepRunner):
                         checkpointed=n,
                         remaining=[s.name for _i, _k, s in pending[n:]])
                 try:
-                    result = _execute(scenario)
+                    # One interior span per scenario: the pipeline's
+                    # leaf spans nest under it, so a trace of a whole
+                    # campaign reads scenario by scenario.
+                    with _trace.span(f"scenario:{scenario.name}"):
+                        result = _execute(scenario)
                 except Exception as exc:
                     # Serial execution fails fast: everything before
                     # this scenario is already checkpointed.

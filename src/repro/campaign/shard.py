@@ -55,8 +55,14 @@ from repro.campaign.objects import (
     read_record,
 )
 from repro.campaign.store import INDEX_FORMAT, ResultStore
+from repro.obs import metrics as _metrics
 
 __all__ = ["ShardedResultStore", "is_sharded_layout"]
+
+# Shard-layer traffic (get/put counters live in the base store).
+_APPENDS = _metrics.REGISTRY.counter("campaign.shard.journal_appends")
+_ADOPTED = _metrics.REGISTRY.counter("campaign.shard.merge_adopted")
+_EVICTED = _metrics.REGISTRY.counter("campaign.shard.gc_evicted")
 
 
 def is_sharded_layout(root: str | os.PathLike) -> bool:
@@ -114,6 +120,7 @@ class ShardedResultStore(ResultStore):
         shard = self.shard_dir(key)
         index = shard / "index.jsonl"
         line = json.dumps({"key": key, **meta}, sort_keys=True)
+        _APPENDS.inc()
         with self._shard_lock(shard):
             header = ""
             if not index.exists():
@@ -242,6 +249,7 @@ class ShardedResultStore(ResultStore):
                 "wall_time": float(record.get("wall_time", 0.0)),
                 "created": float(record.get("created", 0.0))})
             adopted += 1
+        _ADOPTED.inc(adopted)
         return adopted
 
     def gc(self, *, max_bytes: int | None = None,
@@ -301,4 +309,5 @@ class ShardedResultStore(ResultStore):
         for shard, shard_entries in survivors.items():
             if (shard / "index.jsonl").exists():
                 self._compact_shard(shard, shard_entries)
+        _EVICTED.inc(evicted)
         return evicted, freed

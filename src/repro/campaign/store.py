@@ -63,6 +63,14 @@ from repro.core.serialization import (
     callable_spec,
     stable_hash,
 )
+from repro.obs import metrics as _metrics
+
+# Process-wide cache traffic, aggregated across every store instance
+# (the per-instance hits/misses attributes below stay authoritative
+# for the CLI's executed=N accounting).
+_HITS = _metrics.REGISTRY.counter("campaign.store.hits")
+_MISSES = _metrics.REGISTRY.counter("campaign.store.misses")
+_PUTS = _metrics.REGISTRY.counter("campaign.store.puts")
 
 __all__ = ["OBJECT_FORMAT", "INDEX_FORMAT", "ResultStore", "StoreEntry",
            "default_cache_dir", "default_salt"]
@@ -188,8 +196,10 @@ class ResultStore:
                                  self._payload_path(key), scenario)
         if result is None:
             self.misses += 1
+            _MISSES.inc()
         else:
             self.hits += 1
+            _HITS.inc()
         return result
 
     # -- write path ---------------------------------------------------
@@ -211,6 +221,7 @@ class ResultStore:
             return None
         write_object(self._object_path(key), self._payload_path(key),
                      record, arrays)
+        _PUTS.inc()
         self._index_add(key, {"name": scenario.name,
                               "fn": record["scenario"]["fn"],
                               "wall_time": result.wall_time,

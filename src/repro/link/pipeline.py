@@ -55,6 +55,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.obs import trace as _trace
 from repro.uwb.adc import Adc
 from repro.uwb.bpf import BandPassFilter
 from repro.uwb.channel.ieee802154a import ChannelRealization
@@ -128,6 +129,10 @@ class LinkState:
 class Stage:
     """One step of the signal path; mutates the :class:`LinkState`."""
 
+    #: Span name this stage reports under when tracing is enabled
+    #: (see :mod:`repro.obs.trace`); subclasses override.
+    span_name = "link.stage"
+
     def process(self, state: LinkState) -> None:
         raise NotImplementedError
 
@@ -184,6 +189,7 @@ class TxStage(Stage):
     pulse train."""
 
     config: UwbConfig
+    span_name = "link.tx"
 
     def process(self, state: LinkState) -> None:
         state.bits = random_bits(state.n, state.rng)
@@ -197,6 +203,7 @@ class ChannelStage(Stage):
 
     config: UwbConfig
     channel: ChannelRealization | None = None
+    span_name = "link.channel"
 
     def process(self, state: LinkState) -> None:
         if self.channel is None:
@@ -226,6 +233,7 @@ class CombineStage(Stage):
     config: UwbConfig
     sigma: float
     interferers: tuple[InterfererPath, ...] = ()
+    span_name = "link.combine"
 
     def __post_init__(self) -> None:
         self.interferers = tuple(self.interferers)
@@ -264,6 +272,7 @@ class AnalogFrontEndStage(Stage):
     config: UwbConfig
     bpf: BandPassFilter
     scale: float
+    span_name = "link.afe"
 
     def process(self, state: LinkState) -> None:
         cfg = self.config
@@ -290,6 +299,7 @@ class DecisionStage(Stage):
     config: UwbConfig
     integrator: WindowIntegrator
     adc: Adc | None = None
+    span_name = "link.decision"
 
     def decide(self, squared: np.ndarray
                ) -> tuple[np.ndarray, np.ndarray]:
@@ -338,8 +348,16 @@ class SignalPipeline:
             if np.any(sigmas < 0):
                 raise ValueError("sigmas must be >= 0")
         state = LinkState(n=n, rng=rng, sigmas=sigmas)
-        for stage in self.stages:
-            stage.process(state)
+        # Hot path: the disabled branch must stay the bare stage loop
+        # (one module attribute load + one branch per chunk - pinned
+        # <2% on fig6 fast-scale by tests/obs/test_overhead.py).
+        if _trace.ENABLED:
+            for stage in self.stages:
+                with _trace.span(stage.span_name):
+                    stage.process(state)
+        else:
+            for stage in self.stages:
+                stage.process(state)
         return state
 
     def stage(self, kind: type) -> Stage:
@@ -540,7 +558,8 @@ def run_ber_sweep(front: SignalPipeline,
     cfg = getattr(front.stages[0], "config", None)
     if cfg is not None:
         samples = min(chunk_bits, max_bits) * cfg.samples_per_symbol
-        _prime_allocator(n_pts * samples * 8)
+        with _trace.span("link.prime"):
+            _prime_allocator(n_pts * samples * 8)
     bits_done = 0
     while True:
         active = np.zeros((n_dec, n_pts), dtype=bool)
@@ -565,9 +584,15 @@ def run_ber_sweep(front: SignalPipeline,
             # grades the shared batch directly (decide() is read-only).
             sub = (state.squared if len(cols) == len(rows)
                    else state.squared[np.searchsorted(rows, cols)])
-            _, decisions = decider.decide(sub)
-            errors[k, cols] += np.count_nonzero(
-                decisions != state.bits[None, :], axis=-1)
+            if _trace.ENABLED:
+                with _trace.span(decider.span_name):
+                    _, decisions = decider.decide(sub)
+                    errors[k, cols] += np.count_nonzero(
+                        decisions != state.bits[None, :], axis=-1)
+            else:
+                _, decisions = decider.decide(sub)
+                errors[k, cols] += np.count_nonzero(
+                    decisions != state.bits[None, :], axis=-1)
             bits[k, cols] += n
         bits_done += n
     return errors, bits

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import trace as _trace
 from repro.uwb.adc import Adc
 from repro.uwb.bpf import BandPassFilter
 from repro.uwb.channel.awgn import noise_sigma_for_ebn0
@@ -218,6 +219,12 @@ class _LinkCache:
     def __init__(self, config: UwbConfig,
                  channel: ChannelRealization | None,
                  bpf: BandPassFilter | None):
+        with _trace.span("link.calibrate"):
+            self._init(config, channel, bpf)
+
+    def _init(self, config: UwbConfig,
+              channel: ChannelRealization | None,
+              bpf: BandPassFilter | None) -> None:
         self.config = config
         self.channel = channel
         self.bpf = bpf if bpf is not None else BandPassFilter.for_pulse(

@@ -326,3 +326,158 @@ class TestLintCommand:
         code, out = run_cli(capsys, "lint", str(path),
                             "--no-title-line")
         assert code == 0 and "result: CLEAN" in out
+
+
+class TestTraceCommand:
+    def test_unknown_experiment_errors(self, capsys):
+        code, out = run_cli(capsys, "trace", "nope")
+        assert code == 2 and "unknown experiment" in out
+
+    def test_text_trace_shows_tree_and_coverage(self, capsys):
+        code, out = run_cli(capsys, "trace", "fig6", "--fast")
+        assert code == 0
+        assert "trace: fig6" in out
+        # The five pipeline stages appear in the flame tree, and the
+        # trailing line quantifies how much wall the leaves explain.
+        for stage in ("link.tx", "link.combine", "link.afe",
+                      "link.decision"):
+            assert stage in out
+        assert "coverage:" in out and "explained by leaf spans" in out
+
+    def test_json_trace_round_trips_with_tight_coverage(self, capsys):
+        """The acceptance path: `repro trace fig6 --fast --format json`
+        emits a repro.trace/1 document whose per-stage walls sum to
+        within 10% of the traced total wall."""
+        from repro.obs.export import TraceReport
+
+        code, out = run_cli(capsys, "trace", "fig6", "--fast",
+                            "--format", "json")
+        assert code == 0
+        report = TraceReport.from_json(out)
+        assert report.experiment == "fig6"
+        assert report.wall_s > 0
+        explained = sum(report.stage_walls.values())
+        assert explained >= 0.90 * report.wall_s
+        assert explained <= report.wall_s * 1.001
+        # The metrics snapshot rode along (fastsim fig6 with no store
+        # touches no counters, so it round-trips empty).
+        from repro.obs.metrics import MetricsSnapshot
+
+        assert isinstance(report.metrics, MetricsSnapshot)
+
+    def test_trace_leaves_tracing_disabled(self, capsys):
+        from repro.obs import trace
+
+        run_cli(capsys, "trace", "table2", "--fast")
+        assert not trace.ENABLED
+
+
+class TestStatsCommand:
+    def test_empty_stats(self, tmp_path, capsys):
+        code, out = run_cli(capsys, "stats",
+                            "--cache-dir", str(tmp_path / "cache"),
+                            "--queue-dir", str(tmp_path / "q"))
+        assert code == 0
+        assert "0 results" in out and "0 B" in out
+        assert "pending=0" in out
+
+    def test_stats_aggregates_store_and_queue(self, tmp_path, capsys):
+        cache = ("--cache-dir", str(tmp_path / "cache"))
+        queue = ("--queue-dir", str(tmp_path / "q"))
+        run_cli(capsys, "queue", "submit", "table2", *queue)
+        run_cli(capsys, "queue", "work", "--worker-id", "t",
+                *queue, *cache)
+        code, out = run_cli(capsys, "stats", *cache, *queue)
+        assert code == 0
+        assert "2 results" in out
+        assert "repro.link.ops:ranging" in out
+        assert "done=1" in out and "executed=2" in out
+
+    def test_stats_json_round_trips(self, tmp_path, capsys):
+        from repro.campaign.cli import STATS_FORMAT
+        from repro.core.serialization import load_tagged
+
+        run_cli(capsys, "run", "table2", "--fast",
+                "--cache-dir", str(tmp_path / "cache"))
+        capsys.readouterr()
+        code, out = run_cli(capsys, "stats",
+                            "--cache-dir", str(tmp_path / "cache"),
+                            "--queue-dir", str(tmp_path / "q"),
+                            "--format", "json")
+        assert code == 0
+        payload = load_tagged(STATS_FORMAT, out)
+        assert payload["store"]["results"] == 2
+        assert payload["store"]["bytes"] > 0
+        fn, = payload["store"]["by_fn"]
+        assert fn == "repro.link.ops:ranging"
+        assert payload["queue"]["counts"]["pending"] == 0
+
+
+class TestQueueStatusEta:
+    def _claimed_job(self, tmp_path):
+        from repro.campaign import JobQueue, JobSpec
+
+        queue = JobQueue(tmp_path / "q")
+        queue.submit(JobSpec(experiment="table2"))
+        job_id, _spec = queue.claim("w0")
+        return queue, job_id
+
+    def test_unknown_eta_renders_dashes(self, tmp_path, capsys):
+        from repro.campaign.runner import CampaignProgress
+
+        queue, job_id = self._claimed_job(tmp_path)
+        queue.heartbeat(job_id, worker="w0",
+                        progress=CampaignProgress(
+                            done=1, total=3, executed=1, cached=0,
+                            eta_seconds=None))
+        code, out = run_cli(capsys, "queue", "status",
+                            "--queue-dir", str(queue.root))
+        assert code == 0 and "eta=--" in out
+
+    def test_known_eta_and_stages_render(self, tmp_path, capsys):
+        from repro.campaign.runner import CampaignProgress
+
+        queue, job_id = self._claimed_job(tmp_path)
+        queue.heartbeat(job_id, worker="w0",
+                        progress=CampaignProgress(
+                            done=2, total=3, executed=2, cached=0,
+                            eta_seconds=4.25,
+                            stage_walls={"link.afe": 0.5,
+                                         "link.tx": 0.125}))
+        code, out = run_cli(capsys, "queue", "status",
+                            "--queue-dir", str(queue.root))
+        assert code == 0
+        assert "eta=4.2s" in out and "done=2/3" in out
+        # stages render biggest-wall-first
+        assert "stages: link.afe=0.500s link.tx=0.125s" in out
+
+
+class TestFormatBytes:
+    def test_units_and_precision(self):
+        from repro.obs.export import format_bytes
+
+        assert format_bytes(0) == "0 B"
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(1023) == "1023 B"
+        assert format_bytes(1024) == "1.0 KiB"
+        assert format_bytes(1536) == "1.5 KiB"
+        assert format_bytes(3 * 1024 ** 2) == "3.0 MiB"
+        assert format_bytes(5.5 * 1024 ** 3) == "5.5 GiB"
+        assert format_bytes(2 * 1024 ** 4) == "2.0 TiB"
+
+    def test_cache_clear_and_gc_share_the_formatter(self, tmp_path,
+                                                    capsys):
+        run_cli(capsys, "run", "table2", "--fast",
+                "--cache-dir", str(tmp_path / "classic"))
+        code, out = run_cli(capsys, "cache", "clear",
+                            "--cache-dir", str(tmp_path / "classic"))
+        assert code == 0
+        assert "removed 2 stored results (" in out
+        assert "KiB)" in out
+        run_cli(capsys, "run", "table2", "--fast", "--sharded",
+                "--cache-dir", str(tmp_path / "sharded"))
+        code, out = run_cli(capsys, "cache", "gc", "--max-bytes", "0",
+                            "--cache-dir", str(tmp_path / "sharded"))
+        assert code == 0
+        assert "evicted 2 stored results (" in out
+        assert "KiB)" in out

@@ -1,0 +1,183 @@
+"""CampaignProgress delivery contracts (repro.campaign.runner).
+
+The observer-side guarantees: ticks arrive in completion order with
+monotonic counters, a broken user hook warns instead of aborting the
+campaign, progress keeps flowing up to a preemption, the ETA stays
+``None`` until the wall-time history can support a projection, and
+``stage_walls`` rides the tick exactly when tracing is enabled.
+"""
+
+import warnings
+
+import pytest
+
+from repro.campaign import CampaignPreempted, CampaignRunner, ResultStore
+from repro.campaign.runner import CampaignProgress, _ProgressTracker
+from repro.core.scenario import Scenario, SweepResult
+from repro.obs import trace
+from repro.uwb.modulation import random_bits
+
+
+def build_runner(store, processes=None, ns=(4, 8, 16), **kwargs):
+    runner = CampaignRunner(processes=processes, store=store, **kwargs)
+    for n in ns:
+        runner.add(Scenario(name=f"bits{n}", fn=random_bits, seed=5,
+                            rng_param="rng", params={"n": n}))
+    return runner
+
+
+def _result(name="s", wall=0.5):
+    scenario = Scenario(name=name, fn=random_bits, rng_param="rng",
+                        params={"n": 4})
+    return SweepResult(scenario=scenario, value=1, wall_time=wall)
+
+
+class TestOrdering:
+    def test_serial_ticks_follow_submission_order(self, tmp_path):
+        store = ResultStore(tmp_path, salt="s")
+        ticks = []
+        store.progress_hook = ticks.append
+        build_runner(store).run()
+        assert [t.last_name for t in ticks] == ["bits4", "bits8",
+                                                "bits16"]
+        assert [t.done for t in ticks] == [1, 2, 3]
+        assert [t.remaining for t in ticks] == [2, 1, 0]
+
+    def test_counters_are_monotonic_under_fanout(self, tmp_path):
+        """Parallel completion order is nondeterministic, but every
+        tick still carries consistent, monotonically growing
+        counters."""
+        store = ResultStore(tmp_path, salt="s")
+        ticks = []
+        store.progress_hook = ticks.append
+        build_runner(store, processes=2).run()
+        assert [t.done for t in ticks] == [1, 2, 3]
+        for t in ticks:
+            assert t.executed + t.cached == t.done
+            assert t.total == 3
+        assert {t.last_name for t in ticks} == {"bits4", "bits8",
+                                                "bits16"}
+
+    def test_mixed_cache_and_executed_ticks(self, tmp_path):
+        store = ResultStore(tmp_path, salt="s")
+        build_runner(store, ns=(4,)).run()  # checkpoint one scenario
+        ticks = []
+        store.progress_hook = ticks.append
+        build_runner(store).run()
+        # The cache hit ticks first (hits are served during intake),
+        # then the two executions.
+        assert [(t.cached, t.executed) for t in ticks] == [
+            (1, 0), (1, 1), (1, 2)]
+
+
+class TestHookExceptions:
+    def test_broken_hook_warns_and_campaign_completes(self, tmp_path):
+        store = ResultStore(tmp_path, salt="s")
+        calls = []
+
+        def hook(progress):
+            calls.append(progress)
+            raise ValueError("observer bug")
+
+        store.progress_hook = hook
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = build_runner(store).run()
+        assert report.executed == 3  # the campaign was not aborted
+        assert len(calls) == 3       # the hook kept being invoked
+        hook_warnings = [w for w in caught
+                         if issubclass(w.category, RuntimeWarning)
+                         and "progress hook" in str(w.message)]
+        assert len(hook_warnings) == 3
+        assert "observer bug" in str(hook_warnings[0].message)
+        # All three results were checkpointed despite the noisy hook.
+        assert len(store.entries()) == 3
+
+    def test_broken_hook_does_not_poison_the_cache(self, tmp_path):
+        store = ResultStore(tmp_path, salt="s")
+        store.progress_hook = lambda p: 1 / 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            build_runner(store).run()
+        store.progress_hook = None
+        replay = build_runner(store).run()
+        assert (replay.executed, replay.cached) == (0, 3)
+
+
+class TestProgressUnderPreemption:
+    def test_ticks_flow_until_the_preemption_point(self, tmp_path):
+        store = ResultStore(tmp_path, salt="s")
+        ticks = []
+        store.progress_hook = ticks.append
+        store.preempt_hook = lambda: len(ticks) >= 2
+        with pytest.raises(CampaignPreempted) as info:
+            build_runner(store).run()
+        # Both completed scenarios ticked before the stop, and the
+        # exception's accounting matches the delivered progress.
+        assert [t.done for t in ticks] == [1, 2]
+        assert info.value.checkpointed == 2
+        assert info.value.remaining == ["bits16"]
+
+    def test_resumed_campaign_continues_the_done_count(self, tmp_path):
+        store = ResultStore(tmp_path, salt="s")
+        ticks = []
+        store.progress_hook = ticks.append
+        store.preempt_hook = lambda: len(ticks) >= 1
+        with pytest.raises(CampaignPreempted):
+            build_runner(store).run()
+        store.preempt_hook = None
+        ticks.clear()
+        build_runner(store).run()
+        # The checkpointed scenario arrives as a cached tick; done
+        # still counts to the full campaign total.
+        assert [t.done for t in ticks] == [1, 2, 3]
+        assert ticks[0].cached == 1 and ticks[-1].executed == 2
+
+
+class TestEta:
+    def test_no_samples_projects_nothing(self):
+        tracker = _ProgressTracker(total=5, hook=None)
+        assert tracker.eta_seconds() is None
+
+    def test_single_sample_projects_nothing(self):
+        tracker = _ProgressTracker(total=5, hook=None)
+        tracker.tick(_result(wall=2.0), cached=False)
+        assert tracker.eta_seconds() is None
+
+    def test_two_samples_project_mean_times_remaining(self):
+        tracker = _ProgressTracker(total=5, hook=None)
+        tracker.tick(_result(wall=1.0), cached=False)
+        tracker.tick(_result(wall=3.0), cached=True)
+        # mean 2.0s over 3 remaining scenarios
+        assert tracker.eta_seconds() == pytest.approx(6.0)
+
+    def test_finished_campaign_projects_zero(self):
+        tracker = _ProgressTracker(total=2, hook=None)
+        tracker.tick(_result(wall=1.0), cached=False)
+        tracker.tick(_result(wall=1.0), cached=False)
+        assert tracker.eta_seconds() == 0.0
+
+
+class TestStageWalls:
+    def test_stage_walls_none_while_tracing_disabled(self, tmp_path):
+        assert not trace.ENABLED
+        store = ResultStore(tmp_path, salt="s")
+        ticks = []
+        store.progress_hook = ticks.append
+        build_runner(store).run()
+        assert all(t.stage_walls is None for t in ticks)
+
+    def test_stage_walls_ride_ticks_while_tracing(self, tmp_path):
+        store = ResultStore(tmp_path, salt="s")
+        ticks = []
+        store.progress_hook = ticks.append
+        with trace.collect("campaign"):
+            build_runner(store).run()
+        assert all(isinstance(t.stage_walls, dict) for t in ticks)
+
+    def test_progress_is_a_frozen_value_object(self):
+        progress = CampaignProgress(done=1, total=4, executed=1,
+                                    cached=0, eta_seconds=None)
+        assert progress.remaining == 3
+        with pytest.raises(Exception):
+            progress.done = 2

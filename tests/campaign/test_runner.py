@@ -147,8 +147,10 @@ class TestProgressAndPreemption:
         assert [t.done for t in ticks] == [1, 2, 3]
         assert all(t.total == 3 for t in ticks)
         assert ticks[-1].executed == 3 and ticks[-1].cached == 0
-        # the wall-time history yields an ETA from the first sample on
-        assert all(t.eta_seconds is not None for t in ticks)
+        # one sample is no basis for a projection; from the second
+        # sample on the history yields an ETA
+        assert ticks[0].eta_seconds is None
+        assert all(t.eta_seconds is not None for t in ticks[1:])
         assert ticks[-1].eta_seconds == 0.0
         assert ticks[0].last_name == "bits4"
 
@@ -160,7 +162,9 @@ class TestProgressAndPreemption:
         build_runner(store).run()
         assert [t.cached for t in ticks] == [1, 2, 3]
         # hits carry the original run's wall time into the estimate
-        assert all(t.eta_seconds is not None for t in ticks)
+        # (the first tick has a single sample and stays unknown)
+        assert ticks[0].eta_seconds is None
+        assert all(t.eta_seconds is not None for t in ticks[1:])
 
     def test_explicit_progress_argument_wins(self, tmp_path):
         store = ResultStore(tmp_path, salt="s")
